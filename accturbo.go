@@ -1,0 +1,153 @@
+// Package accturbo is the public API of the ACC-Turbo reproduction
+// (Gran Alcoz et al., "Aggregate-Based Congestion Control for
+// Pulse-Wave DDoS Defense", SIGCOMM 2022).
+//
+// The package offers two entry points:
+//
+//   - Defense: a standalone ACC-Turbo pipeline. Feed it packets (from
+//     any capture or forwarding path) and it returns, per packet, the
+//     aggregate (cluster) the packet belongs to and the priority queue
+//     ACC-Turbo would schedule it into. Cluster state is fully
+//     inspectable, mirroring the interpretability story of §10.
+//
+//   - The experiment harness (RunExperiment / Experiments), which
+//     regenerates every table and figure of the paper's evaluation on
+//     the packet-level simulator in internal/.
+//
+// Lower-level building blocks (the online clusterer, the classic ACC
+// agent, the Jaqen baseline, the RED/PIFO/priority qdiscs, the traffic
+// generators, and the discrete-event engine) live in internal/ and are
+// exercised through the example programs in examples/.
+package accturbo
+
+import (
+	"time"
+
+	"accturbo/internal/cluster"
+	"accturbo/internal/core"
+	"accturbo/internal/eventsim"
+	"accturbo/internal/experiments"
+	"accturbo/internal/packet"
+)
+
+// Re-exported packet vocabulary, so Defense users need no internal
+// imports.
+type (
+	// Packet is a decoded packet (see internal/packet).
+	Packet = packet.Packet
+	// Feature identifies a clustering dimension (header field).
+	Feature = packet.Feature
+	// FeatureSet is an ordered list of clustering dimensions.
+	FeatureSet = packet.FeatureSet
+	// Config parameterizes the ACC-Turbo pipeline.
+	Config = core.Config
+	// ClusterInfo is the interpretable snapshot of one aggregate.
+	ClusterInfo = cluster.Info
+	// Decision is one control-loop outcome (rank + queue map).
+	Decision = core.Decision
+)
+
+// Re-exported feature constants (the subsets the paper deploys).
+var (
+	// DefaultFeatures is the §8 simulation feature set.
+	DefaultFeatures = packet.DefaultSimulationFeatures
+	// HardwareFeatures is the §7.1 Tofino feature set.
+	HardwareFeatures = packet.HardwareFeatures
+)
+
+// V4 builds an IPv4 address from four octets.
+var V4 = packet.V4
+
+// FromDuration converts a time.Duration into the virtual-time unit
+// used by Config fields (PollInterval, DeployDelay, ReseedInterval).
+var FromDuration = eventsim.FromDuration
+
+// DefaultConfig returns the paper's simulation configuration (10
+// clusters, Manhattan distance, fast search, throughput ranking).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// HardwareConfig returns the §7.1 Tofino-prototype configuration.
+func HardwareConfig() Config { return core.HardwareConfig() }
+
+// Verdict is Defense's per-packet output.
+type Verdict struct {
+	// Cluster is the aggregate the packet was assigned to.
+	Cluster int
+	// Queue is the strict-priority queue (0 = highest priority) the
+	// live scheduling policy maps that aggregate to.
+	Queue int
+	// Distance is the packet's clustering distance before absorption
+	// (0 when the packet was already covered).
+	Distance float64
+	// NewCluster reports that the packet seeded a new aggregate.
+	NewCluster bool
+}
+
+// Defense is a standalone ACC-Turbo pipeline: the online-clustering
+// data plane plus the ranking control loop, driven by caller-supplied
+// timestamps rather than a simulated switch. It is not safe for
+// concurrent use.
+type Defense struct {
+	eng   *eventsim.Engine
+	turbo *core.Turbo
+}
+
+// NewDefense builds a pipeline from cfg. It panics on an invalid
+// configuration, like the underlying constructors.
+func NewDefense(cfg Config) *Defense {
+	eng := eventsim.New()
+	return &Defense{eng: eng, turbo: core.New(eng, cfg)}
+}
+
+// Process advances the pipeline clock to `at` (running any due control
+// loops) and classifies one packet. Timestamps must be non-decreasing.
+func (d *Defense) Process(at time.Duration, p *Packet) Verdict {
+	t := eventsim.FromDuration(at)
+	if t > d.eng.Now() {
+		d.eng.RunUntil(t)
+	}
+	a := d.turbo.Clusterer().Observe(p)
+	return Verdict{
+		Cluster:    a.Cluster,
+		Queue:      d.turbo.QueueOf(a.Cluster),
+		Distance:   a.Distance,
+		NewCluster: a.Created,
+	}
+}
+
+// Clusters returns the interpretable snapshot of all aggregates.
+func (d *Defense) Clusters() []ClusterInfo { return d.turbo.Clusterer().Snapshot() }
+
+// LastDecision returns the most recent control-loop outcome (nil until
+// the first deployment).
+func (d *Defense) LastDecision() *Decision { return d.turbo.LastDecision }
+
+// QueueOf returns the live priority queue of a cluster.
+func (d *Defense) QueueOf(clusterID int) int { return d.turbo.QueueOf(clusterID) }
+
+// NumQueues returns the number of strict-priority queues (queue
+// NumQueues-1 is the lowest priority).
+func (d *Defense) NumQueues() int { return d.turbo.Config().NumQueues }
+
+// Experiment metadata, re-exported from the harness.
+type (
+	// Experiment is one reproducible paper experiment.
+	Experiment = experiments.Experiment
+	// ExperimentOptions tune experiment runs.
+	ExperimentOptions = experiments.Options
+	// ExperimentResult holds the regenerated series and notes.
+	ExperimentResult = experiments.Result
+)
+
+// Experiments lists every reproduced table and figure in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment regenerates one table or figure by ID ("fig2" ...
+// "fig11", "table3", "table4").
+func RunExperiment(id string, opt ExperimentOptions) (*ExperimentResult, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opt), nil
+}

@@ -1,0 +1,95 @@
+package accturbo
+
+import (
+	"testing"
+	"time"
+)
+
+func floodPacket() *Packet {
+	return &Packet{
+		SrcIP: V4(203, 0, 113, 9), DstIP: V4(198, 18, 7, 1),
+		Protocol: 17, SrcPort: 123, DstPort: 7777, TTL: 58, Length: 1000,
+	}
+}
+
+func benignPacket(i int) *Packet {
+	return &Packet{
+		SrcIP: V4(byte(i*37), byte(i*11), byte(i*53), byte(i*91)), DstIP: V4(198, 18, byte(i*7), byte(i*13)),
+		Protocol: 6, SrcPort: uint16(1024 + i*71), DstPort: 443,
+		TTL: uint8(40 + i%100), Length: uint16(40 + (i*131)%1400),
+	}
+}
+
+func TestDefenseProcess(t *testing.T) {
+	cfg := HardwareConfig()
+	cfg.Clustering.SliceInit = true
+	cfg.PollInterval = FromDuration(100 * time.Millisecond)
+	cfg.DeployDelay = FromDuration(10 * time.Millisecond)
+	d := NewDefense(cfg)
+
+	// Mixed traffic: one benign packet and nine flood packets per ms.
+	var lastFlood, lastBenign Verdict
+	for ms := 0; ms < 1000; ms++ {
+		at := time.Duration(ms) * time.Millisecond
+		lastBenign = d.Process(at, benignPacket(ms))
+		for i := 0; i < 9; i++ {
+			lastFlood = d.Process(at, floodPacket())
+		}
+	}
+	if lastFlood.Cluster < 0 || lastFlood.Cluster >= cfg.Clustering.MaxClusters {
+		t.Fatalf("flood cluster out of range: %+v", lastFlood)
+	}
+	// After several control cycles, the flood's cluster must sit in a
+	// strictly worse queue than the latest benign packet's.
+	if lastFlood.Queue <= lastBenign.Queue {
+		t.Fatalf("flood queue %d not below benign queue %d", lastFlood.Queue, lastBenign.Queue)
+	}
+	if d.NumQueues() != 4 {
+		t.Fatalf("NumQueues = %d", d.NumQueues())
+	}
+	if d.LastDecision() == nil {
+		t.Fatal("no control-loop decision after 1 s")
+	}
+	infos := d.Clusters()
+	if len(infos) != 4 {
+		t.Fatalf("%d clusters", len(infos))
+	}
+	var total uint64
+	for _, info := range infos {
+		total += info.TotalPackets
+	}
+	if total != 10*1000 {
+		t.Fatalf("cluster packet accounting: %d, want 10000", total)
+	}
+	if q := d.QueueOf(lastFlood.Cluster); q != lastFlood.Queue {
+		t.Fatalf("QueueOf disagrees with verdict: %d vs %d", q, lastFlood.Queue)
+	}
+}
+
+func TestDefenseVerdictDistance(t *testing.T) {
+	d := NewDefense(DefaultConfig())
+	v1 := d.Process(0, floodPacket())
+	if !v1.NewCluster {
+		t.Fatal("first packet must seed a cluster")
+	}
+	v2 := d.Process(time.Millisecond, floodPacket())
+	if v2.NewCluster || v2.Distance != 0 {
+		t.Fatalf("identical packet should be covered: %+v", v2)
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	if got := len(Experiments()); got != 15 {
+		t.Fatalf("%d experiments", got)
+	}
+	res, err := RunExperiment("table4", ExperimentOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "table4" || len(res.Series) == 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+	if _, err := RunExperiment("bogus", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}

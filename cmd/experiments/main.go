@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-csv] [-run id[,id...]]
+//
+// Without -run, every experiment runs in paper order. With -csv, each
+// result is emitted as CSV instead of an aligned table. -quick shrinks
+// durations for fast sanity runs; full runs regenerate the numbers
+// recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"accturbo/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink durations/sweeps for a fast run")
+	seed := flag.Int64("seed", 1, "traffic-generation seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	outDir := flag.String("out", "", "also write one CSV per experiment into this directory")
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	for _, e := range selected {
+		start := time.Now()
+		res := e.Run(opt)
+		if *csv {
+			fmt.Printf("# %s: %s\n", res.ID, res.Title)
+			for _, n := range res.Notes {
+				fmt.Printf("# %s\n", n)
+			}
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Print(res.Render())
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, res.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s finished in %.1fs\n", e.ID, time.Since(start).Seconds())
+	}
+}

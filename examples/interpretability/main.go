@@ -1,0 +1,75 @@
+// Interpretability demo (§10 of the paper): run ACC-Turbo's inference
+// over a CICDDoS-like attack sequence and print, for every control-loop
+// decision during an attack, the exact per-feature ranges of each
+// cluster, its traffic statistics, and the queue it was mapped to.
+// Unlike a black-box classifier, an operator can read off precisely
+// which packets go where and why.
+//
+//	go run ./examples/interpretability
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"accturbo/internal/core"
+	"accturbo/internal/eventsim"
+	"accturbo/internal/netsim"
+	"accturbo/internal/packet"
+	"accturbo/internal/traffic"
+)
+
+func main() {
+	const link = 10e6
+	feats := packet.FeatureSet{
+		packet.FDstIPByte2, packet.FDstIPByte3, packet.FSrcPort, packet.FLength,
+	}
+	cfg := core.DefaultConfig()
+	cfg.Clustering.MaxClusters = 8
+	cfg.Clustering.Features = feats
+	cfg.PollInterval = 500 * eventsim.Millisecond
+	cfg.DeployDelay = 10 * eventsim.Millisecond
+	cfg.ReseedInterval = 2 * eventsim.Second
+
+	eng := eventsim.New()
+	rec := netsim.NewRecorder(eventsim.Second)
+	port, turbo := core.Attach(eng, link, rec, cfg)
+
+	// Background plus one NTP reflection pulse at t = 2 s.
+	bg := traffic.NewBackground(traffic.BackgroundConfig{
+		Rate: 6e6, Start: 0, End: 8 * eventsim.Second, Seed: 42,
+	})
+	pulse := traffic.VectorsMust("NTP").Flood(
+		2*eventsim.Second, 8*eventsim.Second, 30e6,
+		packet.V4Addr{198, 18, 7, 1}, 80, 7)
+	netsim.Replay(eng, traffic.Merge(bg, pulse), port)
+
+	// Inspect the live decision once per second.
+	eng.Every(eventsim.Second, func(now eventsim.Time) {
+		dec := turbo.LastDecision
+		if dec == nil {
+			return
+		}
+		fmt.Printf("=== t=%s: decision computed at %s, deployed at %s ===\n",
+			now, dec.At, dec.DeployedAt)
+		for _, info := range dec.Clusters {
+			var dims []string
+			for i, f := range feats {
+				if f.Nominal() {
+					dims = append(dims, fmt.Sprintf("%s:{%d values}", f, info.NominalCardinality[i]))
+				} else {
+					dims = append(dims, fmt.Sprintf("%s:[%d,%d]", f, info.Ranges[i].Min, info.Ranges[i].Max))
+				}
+			}
+			fmt.Printf("  cluster %d -> queue %d  rank=%.0f  pkts=%d  %s\n",
+				info.ID, dec.QueueOf[info.ID], dec.Rank[info.ID], info.Packets,
+				strings.Join(dims, "  "))
+		}
+	})
+	eng.RunUntil(8 * eventsim.Second)
+
+	fmt.Printf("\noutcome: benign drops %.2f%%, attack drops %.2f%%\n",
+		rec.BenignDropPercent(), rec.MaliciousDropPercent())
+	fmt.Println("every scheduling action above is explainable from the printed ranges —")
+	fmt.Println("the operator could pin a known-good aggregate to queue 0 by editing the map")
+}

@@ -1,0 +1,84 @@
+// Pulse-wave demo: replay the paper's §2.2 morphing pulse-wave attack
+// (four pulses, each a different vector) through a FIFO bottleneck and
+// through ACC-Turbo, and render both benign-throughput timelines as
+// ASCII charts.
+//
+//	go run ./examples/pulsewave
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"accturbo/internal/core"
+	"accturbo/internal/eventsim"
+	"accturbo/internal/netsim"
+	"accturbo/internal/packet"
+	"accturbo/internal/queue"
+	"accturbo/internal/traffic"
+)
+
+const (
+	link     = 10e6 // 10 Mbps bottleneck
+	duration = 50 * eventsim.Second
+)
+
+func main() {
+	fifo := runFIFO()
+	turbo := runTurbo()
+
+	fmt.Println("Benign throughput under a morphing pulse-wave attack")
+	fmt.Println("(pulses at 5, 15, 25, 35 s; each pulse bursts at 3x the link rate)")
+	fmt.Println()
+	chart("FIFO", fifo.DeliveredBits(packet.Benign))
+	fmt.Println()
+	chart("ACC-Turbo", turbo.DeliveredBits(packet.Benign))
+	fmt.Printf("\nbenign packet drops: FIFO %.1f%%  vs  ACC-Turbo %.1f%%\n",
+		fifo.BenignDropPercent(), turbo.BenignDropPercent())
+	fmt.Printf("attack packet drops: FIFO %.1f%%  vs  ACC-Turbo %.1f%%\n",
+		fifo.MaliciousDropPercent(), turbo.MaliciousDropPercent())
+}
+
+func workload() traffic.Source {
+	return traffic.PulseWave(link, 3*link, 5*eventsim.Second, true)
+}
+
+func runFIFO() *netsim.Recorder {
+	eng := eventsim.New()
+	rec := netsim.NewRecorder(eventsim.Second)
+	port := netsim.NewPort(eng, queue.NewFIFO(int(link/8/10)), link, rec)
+	netsim.Replay(eng, workload(), port)
+	eng.RunUntil(duration)
+	return rec
+}
+
+func runTurbo() *netsim.Recorder {
+	eng := eventsim.New()
+	rec := netsim.NewRecorder(eventsim.Second)
+	cfg := core.DefaultConfig()
+	cfg.Clustering.Features = packet.FeatureSet{
+		packet.FDstIPByte1, packet.FDstIPByte2, packet.FDstIPByte3,
+	}
+	cfg.Clustering.SliceInit = true
+	cfg.ReseedInterval = eventsim.Second
+	port, _ := core.Attach(eng, link, rec, cfg)
+	netsim.Replay(eng, workload(), port)
+	eng.RunUntil(duration)
+	return rec
+}
+
+// chart renders a series as a rough ASCII bar chart, one row per 2 s.
+func chart(name string, bits []float64) {
+	fmt.Printf("%s:\n", name)
+	for i := 0; i+1 < len(bits); i += 2 {
+		v := (bits[i] + bits[i+1]) / 2
+		bar := int(v / link * 50)
+		if bar < 0 {
+			bar = 0
+		}
+		if bar > 50 {
+			bar = 50
+		}
+		fmt.Printf("  %2ds |%-50s| %4.1f Mbps\n", i, strings.Repeat("#", bar), v/1e6)
+	}
+}

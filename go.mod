@@ -1,0 +1,3 @@
+module accturbo
+
+go 1.22

@@ -1,0 +1,366 @@
+package acc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accturbo/internal/eventsim"
+	"accturbo/internal/netsim"
+	"accturbo/internal/packet"
+	"accturbo/internal/queue"
+	"accturbo/internal/traffic"
+)
+
+func TestDefaultConfigMatchesTable4(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.K != 2*eventsim.Second {
+		t.Errorf("K = %v, want 2s", cfg.K)
+	}
+	if cfg.PHigh != 0.1 {
+		t.Errorf("PHigh = %v, want 0.1", cfg.PHigh)
+	}
+	if cfg.PTarget != 0.05 {
+		t.Errorf("PTarget = %v, want 0.05", cfg.PTarget)
+	}
+	if cfg.RateEWMAInterval != 100*eventsim.Millisecond {
+		t.Errorf("rate EWMA interval = %v, want 0.1s", cfg.RateEWMAInterval)
+	}
+	if cfg.MaxSessions != 5 {
+		t.Errorf("MaxSessions = %d, want 5", cfg.MaxSessions)
+	}
+	if cfg.ReleaseTime != 10*eventsim.Second {
+		t.Errorf("ReleaseTime = %v, want 10s", cfg.ReleaseTime)
+	}
+	if cfg.FreeTime != 20*eventsim.Second {
+		t.Errorf("FreeTime = %v, want 20s", cfg.FreeTime)
+	}
+	if cfg.CycleTime != 5*eventsim.Second {
+		t.Errorf("CycleTime = %v, want 5s", cfg.CycleTime)
+	}
+	if cfg.InitTime != 500*eventsim.Millisecond {
+		t.Errorf("InitTime = %v, want 0.5s", cfg.InitTime)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(c *Config){
+		func(c *Config) { c.K = 0 },
+		func(c *Config) { c.PHigh = 0 },
+		func(c *Config) { c.PHigh = 1.5 },
+		func(c *Config) { c.PTarget = 0.5 },
+		func(c *Config) { c.MaxSessions = 0 },
+		func(c *Config) { c.HistoryLimit = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := Prefix{Addr: 0x0a000500, Bits: 24} // 10.0.5.0/24
+	if !p.Contains(0x0a000501) || !p.Contains(0x0a0005ff) {
+		t.Error("prefix should contain its hosts")
+	}
+	if p.Contains(0x0a000601) {
+		t.Error("prefix should exclude neighbors")
+	}
+	if p.String() != "10.0.5.0/24" {
+		t.Errorf("String = %q", p.String())
+	}
+	all := Prefix{Bits: 0}
+	if !all.Contains(0xffffffff) {
+		t.Error("/0 contains everything")
+	}
+}
+
+func TestWaterfill(t *testing.T) {
+	// rates 10, 6, 2; excess 4 -> limiting only the top: L = 10-4 = 6,
+	// which is >= rates[1] = 6, so one aggregate suffices.
+	l, n := waterfill([]float64{10, 6, 2}, 4)
+	if n != 1 || l != 6 {
+		t.Fatalf("got L=%v n=%d, want 6, 1", l, n)
+	}
+	// excess 8: top two to L = (16-8)/2 = 4 >= rates[2]=2. n=2.
+	l, n = waterfill([]float64{10, 6, 2}, 8)
+	if n != 2 || l != 4 {
+		t.Fatalf("got L=%v n=%d, want 4, 2", l, n)
+	}
+	// excess exceeding everything: L clamps at 0, all aggregates.
+	l, n = waterfill([]float64{10, 6, 2}, 100)
+	if n != 3 || l != 0 {
+		t.Fatalf("got L=%v n=%d, want 0, 3", l, n)
+	}
+	if _, n := waterfill(nil, 5); n != 0 {
+		t.Fatal("empty rates")
+	}
+}
+
+// Invariant: the water-filling identity sum(min(rate_i, L)... ) —
+// specifically sum over chosen aggregates of (rate_i - L) >= excess
+// (equality unless L clamped at 0), and L never exceeds the smallest
+// chosen rate's ceiling rule.
+func TestQuickWaterfill(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = r.Float64() * 100
+		}
+		// sort descending
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rates[j] > rates[i] {
+					rates[i], rates[j] = rates[j], rates[i]
+				}
+			}
+		}
+		var total float64
+		for _, x := range rates {
+			total += x
+		}
+		excess := r.Float64() * total * 1.2
+		l, cnt := waterfill(rates, excess)
+		if cnt < 1 || cnt > n || l < 0 {
+			return false
+		}
+		var shed float64
+		for i := 0; i < cnt; i++ {
+			shed += rates[i] - l
+		}
+		if l > 0 {
+			// Exact shed within float tolerance.
+			return shed >= excess-1e-6 && shed <= excess+1e-6
+		}
+		return true // clamped: shed everything possible
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkHistory(entries map[uint32]int) []dropRecord {
+	var h []dropRecord
+	for addr, n := range entries {
+		for i := 0; i < n; i++ {
+			h = append(h, dropRecord{dst: addr, size: 500})
+		}
+	}
+	return h
+}
+
+func TestIdentifyAggregatesFindsHotPrefix(t *testing.T) {
+	// 100 drops on 10.0.5.x, background noise of 1 drop each on
+	// scattered addresses.
+	entries := map[uint32]int{}
+	for i := 0; i < 10; i++ {
+		entries[0x0a000500|uint32(i)] = 10
+	}
+	for i := 0; i < 20; i++ {
+		entries[0xc0a80000|uint32(i)<<8|uint32(i)] = 1
+	}
+	aggs := identifyAggregates(mkHistory(entries), 0.9)
+	if len(aggs) == 0 {
+		t.Fatal("no aggregates identified")
+	}
+	top := aggs[0]
+	if !top.prefix.Contains(0x0a000505) {
+		t.Fatalf("top aggregate %v does not cover the hot prefix", top.prefix)
+	}
+	if top.drops != 100 {
+		t.Fatalf("top drops = %d, want 100", top.drops)
+	}
+}
+
+func TestIdentifyAggregatesNarrowsToHost(t *testing.T) {
+	// All drops on a single address: the subtree walk must narrow to /32.
+	entries := map[uint32]int{0x0a000507: 50}
+	aggs := identifyAggregates(mkHistory(entries), 0.9)
+	if len(aggs) != 1 {
+		t.Fatalf("%d aggregates", len(aggs))
+	}
+	if aggs[0].prefix.Bits != 32 || aggs[0].prefix.Addr != 0x0a000507 {
+		t.Fatalf("prefix = %v, want 10.0.5.7/32", aggs[0].prefix)
+	}
+}
+
+func TestIdentifyAggregatesEmptyHistory(t *testing.T) {
+	if aggs := identifyAggregates(nil, 0.9); aggs != nil {
+		t.Fatalf("empty history gave %v", aggs)
+	}
+}
+
+// buildScenario wires a port with RED + ACC and replays the Fig. 2
+// workload at a small scale.
+func runACCOriginal(t *testing.T, cfg Config, linkRate float64) (*netsim.Recorder, *ACC) {
+	t.Helper()
+	eng := eventsim.New()
+	rec := netsim.NewRecorder(eventsim.Second)
+	red := queue.NewRED(queue.DefaultREDConfig(int(linkRate/8/10), linkRate/8))
+	port := netsim.NewPort(eng, red, linkRate, rec)
+	agent := Attach(eng, port, red, cfg)
+	netsim.Replay(eng, traffic.ACCOriginal(linkRate), port)
+	eng.RunUntil(50 * eventsim.Second)
+	return rec, agent
+}
+
+func TestACCMitigatesOriginalExperiment(t *testing.T) {
+	const link = 10e6
+	rec, agent := runACCOriginal(t, DefaultConfig(), link)
+
+	if agent.Activations == 0 {
+		t.Fatal("agent never activated despite a 3x attack")
+	}
+	if agent.FirstActivation < 13*eventsim.Second {
+		t.Fatalf("activated at %v, before the attack began", agent.FirstActivation)
+	}
+	// The paper reports ~4 s reaction with K=2 s: activation within
+	// [13s, 21s].
+	if agent.FirstActivation > 21*eventsim.Second {
+		t.Fatalf("activation too slow: %v", agent.FirstActivation)
+	}
+	// After mitigation, benign aggregates should recover: in the last
+	// 10 s of the attack plateau, benign delivered >> no-defense case.
+	benign := rec.DeliveredBits(packet.Benign)
+	var avg float64
+	for i := 20; i < 25; i++ {
+		avg += benign[i]
+	}
+	avg /= 5
+	if avg < 0.5*link {
+		t.Fatalf("benign throughput %v during mitigated attack, want > 50%% of link", avg)
+	}
+}
+
+func TestFIFOBaselineFailsWhereACCSucceeds(t *testing.T) {
+	const link = 10e6
+	// FIFO only.
+	eng := eventsim.New()
+	rec := netsim.NewRecorder(eventsim.Second)
+	port := netsim.NewPort(eng, queue.NewFIFO(int(link/8/10)), link, rec)
+	netsim.Replay(eng, traffic.ACCOriginal(link), port)
+	eng.RunUntil(50 * eventsim.Second)
+	benign := rec.DeliveredBits(packet.Benign)
+	var fifoAvg float64
+	for i := 20; i < 25; i++ {
+		fifoAvg += benign[i]
+	}
+	fifoAvg /= 5
+
+	recACC, _ := runACCOriginal(t, DefaultConfig(), link)
+	benignACC := recACC.DeliveredBits(packet.Benign)
+	var accAvg float64
+	for i := 20; i < 25; i++ {
+		accAvg += benignACC[i]
+	}
+	accAvg /= 5
+	if accAvg <= fifoAvg*1.2 {
+		t.Fatalf("ACC (%v bps) should beat FIFO (%v bps) under attack", accAvg, fifoAvg)
+	}
+}
+
+func TestSessionsInstallAndRelease(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReleaseTime = 2 * eventsim.Second
+	cfg.FreeTime = 3 * eventsim.Second
+	cfg.CycleTime = eventsim.Second
+
+	const link = 10e6
+	eng := eventsim.New()
+	red := queue.NewRED(queue.DefaultREDConfig(int(link/8/10), link/8))
+	port := netsim.NewPort(eng, red, link, netsim.NewRecorder(eventsim.Second))
+	agent := Attach(eng, port, red, cfg)
+
+	// Attack for 10 s, then silence until 40 s.
+	spec := traffic.FlowSpec{
+		SrcIP: packet.V4Addr{9, 9, 9, 9}, DstIP: packet.V4Addr{10, 0, 5, 1},
+		Protocol: packet.ProtoUDP, SrcPort: 1, DstPort: 2, TTL: 64, Size: 500,
+		Label: packet.Malicious, FlowID: 5,
+	}
+	netsim.Replay(eng, traffic.NewCBR(0, 10*eventsim.Second, 40e6, spec.Factory(1)), port)
+	// Keep the clock running to 40 s so revisits happen.
+	eng.Every(eventsim.Second, func(now eventsim.Time) {})
+	eng.RunUntil(40 * eventsim.Second)
+
+	if agent.Activations == 0 {
+		t.Fatal("no activation")
+	}
+	if len(agent.Sessions()) != 0 {
+		t.Fatalf("sessions not released after quiet period: %v", agent.Sessions())
+	}
+}
+
+func TestSessionLimitRespected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxSessions = 2
+	const link = 10e6
+	eng := eventsim.New()
+	red := queue.NewRED(queue.DefaultREDConfig(int(link/8/10), link/8))
+	port := netsim.NewPort(eng, red, link, netsim.NewRecorder(eventsim.Second))
+	agent := Attach(eng, port, red, cfg)
+
+	// Four simultaneous attack prefixes.
+	var srcs []traffic.Source
+	for i := 0; i < 4; i++ {
+		spec := traffic.FlowSpec{
+			SrcIP: packet.V4Addr{9, 9, 9, byte(i)}, DstIP: packet.V4Addr{10, 0, byte(10 + i), 1},
+			Protocol: packet.ProtoUDP, SrcPort: 1, DstPort: 2, TTL: 64, Size: 500,
+			Label: packet.Malicious, FlowID: uint32(10 + i),
+		}
+		srcs = append(srcs, traffic.NewCBR(0, 10*eventsim.Second, 15e6, spec.Factory(int64(i))))
+	}
+	netsim.Replay(eng, traffic.Merge(srcs...), port)
+	eng.RunUntil(12 * eventsim.Second)
+	if got := len(agent.Sessions()); got > 2 {
+		t.Fatalf("%d sessions, limit 2", got)
+	}
+	if agent.Activations == 0 {
+		t.Fatal("no activation")
+	}
+}
+
+func TestNoActivationWithoutCongestion(t *testing.T) {
+	const link = 10e6
+	eng := eventsim.New()
+	red := queue.NewRED(queue.DefaultREDConfig(int(link/8/10), link/8))
+	port := netsim.NewPort(eng, red, link, netsim.NewRecorder(eventsim.Second))
+	agent := Attach(eng, port, red, DefaultConfig())
+	spec := traffic.FlowSpec{
+		SrcIP: packet.V4Addr{1, 1, 1, 1}, DstIP: packet.V4Addr{10, 0, 1, 1},
+		Protocol: packet.ProtoUDP, SrcPort: 1, DstPort: 2, TTL: 64, Size: 500,
+	}
+	netsim.Replay(eng, traffic.NewCBR(0, 10*eventsim.Second, 5e6, spec.Factory(1)), port)
+	eng.RunUntil(12 * eventsim.Second)
+	if agent.Activations != 0 {
+		t.Fatalf("%d activations under 50%% load", agent.Activations)
+	}
+	if len(agent.Sessions()) != 0 {
+		t.Fatal("sessions installed without congestion")
+	}
+}
+
+func BenchmarkAdmitWithSessions(b *testing.B) {
+	eng := eventsim.New()
+	red := queue.NewRED(queue.DefaultREDConfig(100_000, 1e9))
+	port := netsim.NewPort(eng, red, 10e6, nil)
+	agent := Attach(eng, port, red, DefaultConfig())
+	for i := 0; i < 5; i++ {
+		agent.install(0, Prefix{Addr: uint32(i) << 8, Bits: 24}, 1e6, 2e6)
+	}
+	p := &packet.Packet{
+		SrcIP: packet.V4(1, 1, 1, 1), DstIP: packet.V4(0, 0, 3, 7),
+		Length: 500, Protocol: packet.ProtoUDP,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		agent.admit(eventsim.Time(i), p)
+	}
+}

@@ -1,0 +1,205 @@
+package cluster
+
+// Distance and cost computations for the three metrics of §4.2.3.
+//
+// All three are expressed as "cost increase caused by a merge", so the
+// same online algorithm minimizes each. For ranges, widths use float64
+// to keep the Anime product within range (the paper notes the exact
+// product can need 157 bits; the simulator only compares magnitudes, so
+// float64 precision suffices).
+
+// distance returns d(p, c): the cost increase of absorbing the packet
+// (given by its extracted feature values) into cluster c.
+func (o *Online) distance(vals []uint32, c *clusterState) float64 {
+	switch o.cfg.Distance {
+	case Manhattan:
+		return o.manhattanPoint(vals, c)
+	case Anime:
+		return o.animePoint(vals, c)
+	case Euclidean:
+		return o.euclideanPoint(vals, c)
+	default:
+		panic("cluster: unknown distance")
+	}
+}
+
+// mergeCost returns d(ci, cj): the cost increase of merging the two
+// clusters (exhaustive search only).
+func (o *Online) mergeCost(a, b *clusterState) float64 {
+	switch o.cfg.Distance {
+	case Manhattan:
+		return o.manhattanMerge(a, b)
+	case Anime:
+		return o.animeMerge(a, b)
+	case Euclidean:
+		return o.euclideanMerge(a, b)
+	default:
+		panic("cluster: unknown distance")
+	}
+}
+
+// clusterCost returns delta(c), the cluster's size under the configured
+// cost function.
+func (o *Online) clusterCost(c *clusterState) float64 {
+	switch o.cfg.Distance {
+	case Anime:
+		prod := 1.0
+		for i := range o.feats {
+			prod *= o.featWidth(c, i)
+		}
+		return prod
+	case Euclidean:
+		// Centers carry no extent; use the tracked bounding box so
+		// "size" remains meaningful for ranking ablations.
+		fallthrough
+	case Manhattan:
+		sum := 0.0
+		for i := range o.feats {
+			sum += o.featWidth(c, i) - 1
+		}
+		return sum
+	default:
+		panic("cluster: unknown distance")
+	}
+}
+
+// featWidth is the per-feature cost of a cluster: range width + 1 for
+// ordinal features (so a point has width 1), set cardinality for
+// nominal ones. With Normalize set, ordinal widths are scaled into
+// (0, 1] so wide value spaces do not dominate.
+func (o *Online) featWidth(c *clusterState, i int) float64 {
+	if o.nominal[i] {
+		return float64(c.setCard[i])
+	}
+	return (float64(c.max[i]-c.min[i]) + 1) * o.scale[i]
+}
+
+// --- Manhattan (Eq. 5) ---
+
+func (o *Online) manhattanPoint(vals []uint32, c *clusterState) float64 {
+	var d float64
+	for i, v := range vals {
+		if o.nominal[i] {
+			if !c.contains(o, i, v) {
+				d++
+			}
+			continue
+		}
+		switch {
+		case v < c.min[i]:
+			d += float64(c.min[i]-v) * o.scale[i]
+		case v > c.max[i]:
+			d += float64(v-c.max[i]) * o.scale[i]
+		}
+	}
+	return d
+}
+
+func (o *Online) manhattanMerge(a, b *clusterState) float64 {
+	// Cost increase = width(union) - width(a) - width(b) per ordinal
+	// feature (negative when the ranges overlap); for nominal
+	// features, |union| - |a| - |b| (always <= 0), computable exactly
+	// in set mode.
+	var d float64
+	for i := range a.min {
+		if o.nominal[i] {
+			union := a.setCard[i]
+			for v := range b.sets[i] {
+				if _, ok := a.sets[i][v]; !ok {
+					union++
+				}
+			}
+			d += float64(union - a.setCard[i] - b.setCard[i])
+			continue
+		}
+		lo, hi := a.min[i], a.max[i]
+		if b.min[i] < lo {
+			lo = b.min[i]
+		}
+		if b.max[i] > hi {
+			hi = b.max[i]
+		}
+		d += (float64(hi-lo) - float64(a.max[i]-a.min[i]) - float64(b.max[i]-b.min[i])) * o.scale[i]
+	}
+	return d
+}
+
+// --- Anime (Eq. 1 / Def. 4.1) ---
+
+func (o *Online) animePoint(vals []uint32, c *clusterState) float64 {
+	before := 1.0
+	after := 1.0
+	for i, v := range vals {
+		w := o.featWidth(c, i)
+		before *= w
+		if o.nominal[i] {
+			if !c.contains(o, i, v) {
+				w++
+			}
+			after *= w
+			continue
+		}
+		switch {
+		case v < c.min[i]:
+			after *= (float64(c.max[i]-v) + 1) * o.scale[i]
+		case v > c.max[i]:
+			after *= (float64(v-c.min[i]) + 1) * o.scale[i]
+		default:
+			after *= w
+		}
+	}
+	return after - before
+}
+
+func (o *Online) animeMerge(a, b *clusterState) float64 {
+	costA, costB, union := 1.0, 1.0, 1.0
+	for i := range a.min {
+		costA *= o.featWidth(a, i)
+		costB *= o.featWidth(b, i)
+		if o.nominal[i] {
+			card := a.setCard[i]
+			for v := range b.sets[i] {
+				if _, ok := a.sets[i][v]; !ok {
+					card++
+				}
+			}
+			union *= float64(card)
+			continue
+		}
+		lo, hi := a.min[i], a.max[i]
+		if b.min[i] < lo {
+			lo = b.min[i]
+		}
+		if b.max[i] > hi {
+			hi = b.max[i]
+		}
+		union *= (float64(hi-lo) + 1) * o.scale[i]
+	}
+	return union - costA - costB
+}
+
+// --- Euclidean (Eq. 2) ---
+
+func (o *Online) euclideanPoint(vals []uint32, c *clusterState) float64 {
+	var d float64
+	for i, v := range vals {
+		diff := (float64(v) - c.center[i]) * o.scale[i]
+		d += diff * diff
+	}
+	return d
+}
+
+func (o *Online) euclideanMerge(a, b *clusterState) float64 {
+	// Ward-style linkage: the increase in within-cluster squared error
+	// caused by merging two centroids.
+	var d float64
+	for i := range a.center {
+		diff := (a.center[i] - b.center[i]) * o.scale[i]
+		d += diff * diff
+	}
+	na, nb := float64(a.count), float64(b.count)
+	if na+nb == 0 {
+		return d
+	}
+	return d * na * nb / (na + nb)
+}

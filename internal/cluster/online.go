@@ -1,0 +1,403 @@
+package cluster
+
+import (
+	"fmt"
+
+	"accturbo/internal/packet"
+	"accturbo/internal/sketch"
+)
+
+// Online is the online clusterer of Appendix B: it maintains at most
+// |C| clusters and assigns every packet to exactly one of them,
+// extending that cluster's ranges/sets when the packet falls outside.
+//
+// Online is not safe for concurrent use; the simulator is
+// single-threaded by design.
+type Online struct {
+	cfg      Config
+	feats    packet.FeatureSet
+	nominal  []bool    // per feature position
+	scale    []float64 // per-feature distance scaling (1 when !Normalize)
+	clusters []*clusterState
+	valbuf   []uint32 // scratch: feature values of the current packet
+	nextUID  uint64
+	// Observed counts packets seen since construction.
+	Observed uint64
+}
+
+type clusterState struct {
+	uid      uint64
+	min, max []uint32              // ordinal positions
+	sets     []map[uint32]struct{} // nominal positions (exact mode)
+	blooms   []*sketch.Bloom       // nominal positions (bloom mode)
+	setCard  []int                 // admitted-value count per nominal position
+
+	center []float64 // Euclidean representation
+	count  uint64    // packets since seed (for center merging)
+
+	packets, bytes    uint64 // since last ResetStats
+	totalPackets      uint64
+	benign, malicious uint64
+}
+
+// NewOnline builds an online clusterer. It panics on an invalid
+// configuration (configs are produced by code, not user input).
+func NewOnline(cfg Config) *Online {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	o := &Online{
+		cfg:     cfg,
+		feats:   cfg.Features,
+		nominal: make([]bool, len(cfg.Features)),
+		valbuf:  make([]uint32, len(cfg.Features)),
+	}
+	o.scale = make([]float64, len(cfg.Features))
+	for i, f := range cfg.Features {
+		o.nominal[i] = f.Nominal()
+		o.scale[i] = 1
+		if cfg.Normalize && !o.nominal[i] {
+			o.scale[i] = 1 / (float64(f.MaxValue()) + 1)
+		}
+	}
+	if cfg.SliceInit {
+		o.sliceInit()
+	}
+	return o
+}
+
+// sliceInit pre-creates MaxClusters clusters that partition the value
+// space of the *first ordinal feature* into even slices, with every
+// other ordinal feature starting at its full range. This mirrors the
+// hardware prototype's controller, which tiles the destination-address
+// space so the initial assignment is order-independent. Nominal sets
+// start empty.
+func (o *Online) sliceInit() {
+	k := o.cfg.MaxClusters
+	lead := -1
+	for f := range o.feats {
+		if !o.nominal[f] {
+			lead = f
+			break
+		}
+	}
+	for i := 0; i < k; i++ {
+		vals := make([]uint32, len(o.feats))
+		c := o.newCluster(vals)
+		c.count = 0
+		for f, feat := range o.feats {
+			if o.nominal[f] {
+				// Drop the seeded zero value: slices carry no nominal
+				// admissions until traffic arrives.
+				if o.cfg.UseBloom {
+					c.blooms[f].Reset()
+				} else {
+					delete(c.sets[f], 0)
+				}
+				c.setCard[f] = 0
+				continue
+			}
+			max := uint64(feat.MaxValue()) + 1
+			lo, hi := uint32(0), uint32(max-1)
+			if f == lead {
+				lo = uint32(max * uint64(i) / uint64(k))
+				hi = uint32(max*uint64(i+1)/uint64(k) - 1)
+			}
+			c.min[f], c.max[f] = lo, hi
+			if c.center != nil {
+				c.center[f] = (float64(lo) + float64(hi)) / 2
+			}
+		}
+		o.clusters = append(o.clusters, c)
+	}
+}
+
+// Config returns the clusterer's configuration.
+func (o *Online) Config() Config { return o.cfg }
+
+// NumClusters returns the number of seeded clusters.
+func (o *Online) NumClusters() int { return len(o.clusters) }
+
+func (o *Online) newCluster(vals []uint32) *clusterState {
+	o.nextUID++
+	n := len(o.feats)
+	c := &clusterState{
+		uid:     o.nextUID,
+		min:     make([]uint32, n),
+		max:     make([]uint32, n),
+		setCard: make([]int, n),
+	}
+	if o.cfg.UseBloom {
+		c.blooms = make([]*sketch.Bloom, n)
+	} else {
+		c.sets = make([]map[uint32]struct{}, n)
+	}
+	if o.cfg.Distance == Euclidean {
+		c.center = make([]float64, n)
+	}
+	for i, v := range vals {
+		c.min[i], c.max[i] = v, v
+		if o.nominal[i] {
+			if o.cfg.UseBloom {
+				c.blooms[i] = sketch.NewBloom(o.cfg.BloomBits, o.cfg.BloomHashes)
+				c.blooms[i].Insert(uint64(v))
+			} else {
+				c.sets[i] = map[uint32]struct{}{v: {}}
+			}
+			c.setCard[i] = 1
+		}
+		if c.center != nil {
+			c.center[i] = float64(v)
+		}
+	}
+	c.count = 1
+	return c
+}
+
+// contains reports whether the cluster admits value v at position i.
+func (c *clusterState) contains(o *Online, i int, v uint32) bool {
+	if o.nominal[i] {
+		if o.cfg.UseBloom {
+			return c.blooms[i].Contains(uint64(v))
+		}
+		_, ok := c.sets[i][v]
+		return ok
+	}
+	return v >= c.min[i] && v <= c.max[i]
+}
+
+// absorb extends the cluster to cover vals.
+func (c *clusterState) absorb(o *Online, vals []uint32) {
+	for i, v := range vals {
+		if o.nominal[i] {
+			if !c.contains(o, i, v) {
+				if o.cfg.UseBloom {
+					c.blooms[i].Insert(uint64(v))
+				} else {
+					c.sets[i][v] = struct{}{}
+				}
+				c.setCard[i]++
+			}
+			continue
+		}
+		if v < c.min[i] {
+			c.min[i] = v
+		}
+		if v > c.max[i] {
+			c.max[i] = v
+		}
+	}
+	if c.center != nil {
+		lr := o.cfg.LearningRate
+		for i, v := range vals {
+			c.center[i] += lr * (float64(v) - c.center[i])
+		}
+	}
+}
+
+// mergeFrom absorbs the whole of src into c (exhaustive search).
+func (c *clusterState) mergeFrom(o *Online, src *clusterState) {
+	for i := range c.min {
+		if o.nominal[i] {
+			if o.cfg.UseBloom {
+				// Bloom filters cannot be unioned bit-exactly here
+				// because geometries match: OR the words via reinsert
+				// is impossible, so approximate by inserting nothing
+				// and keeping the larger filter. Exact mode is the
+				// simulation default; exhaustive+bloom is rejected at
+				// construction time by Observe instead.
+				panic("cluster: exhaustive search with Bloom sets is not supported")
+			}
+			for v := range src.sets[i] {
+				if _, ok := c.sets[i][v]; !ok {
+					c.sets[i][v] = struct{}{}
+					c.setCard[i]++
+				}
+			}
+			continue
+		}
+		if src.min[i] < c.min[i] {
+			c.min[i] = src.min[i]
+		}
+		if src.max[i] > c.max[i] {
+			c.max[i] = src.max[i]
+		}
+	}
+	if c.center != nil {
+		// Weighted centroid of the two clusters.
+		tot := float64(c.count + src.count)
+		for i := range c.center {
+			c.center[i] = (c.center[i]*float64(c.count) + src.center[i]*float64(src.count)) / tot
+		}
+	}
+	c.count += src.count
+	c.packets += src.packets
+	c.bytes += src.bytes
+	c.totalPackets += src.totalPackets
+	c.benign += src.benign
+	c.malicious += src.malicious
+}
+
+// account records a packet's traffic statistics against the cluster.
+func (c *clusterState) account(p *packet.Packet) {
+	c.count++
+	c.packets++
+	c.totalPackets++
+	c.bytes += uint64(p.Size())
+	if p.Label == packet.Malicious {
+		c.malicious++
+	} else {
+		c.benign++
+	}
+}
+
+// Observe runs one step of Algorithm 1 for packet p: find the closest
+// cluster (seeding or merging per the search strategy) and extend it to
+// cover p.
+func (o *Online) Observe(p *packet.Packet) Assignment {
+	o.Observed++
+	vals := o.feats.Extract(p, o.valbuf)
+
+	// Seed phase: the first |C| distinct arrivals each start a cluster
+	// (unless an existing cluster already covers the packet exactly).
+	if len(o.clusters) < o.cfg.MaxClusters {
+		if id, d := o.closest(vals); id >= 0 && d == 0 {
+			o.clusters[id].account(p)
+			return Assignment{Cluster: id, UID: o.clusters[id].uid, Distance: 0}
+		}
+		c := o.newCluster(vals)
+		c.account(p)
+		c.count-- // account() bumped it; seed already counted once
+		o.clusters = append(o.clusters, c)
+		return Assignment{Cluster: len(o.clusters) - 1, UID: c.uid, Created: true}
+	}
+
+	id, d := o.closest(vals)
+
+	if o.cfg.Search == Exhaustive && d > 0 {
+		// Consider merging the two closest clusters and starting a new
+		// cluster at p. Worth it iff the cost increase of the
+		// cluster-cluster merge is below the cost increase of
+		// absorbing p into its nearest cluster.
+		mi, mj, md := o.closestPair()
+		if mi >= 0 && md < d {
+			o.clusters[mi].mergeFrom(o, o.clusters[mj])
+			c := o.newCluster(vals)
+			c.account(p)
+			c.count--
+			o.clusters[mj] = c
+			return Assignment{Cluster: mj, UID: c.uid, Distance: 0, Created: true}
+		}
+	}
+
+	c := o.clusters[id]
+	if d > 0 || c.center != nil {
+		// Center representations update even for covered packets.
+		c.absorb(o, vals)
+	}
+	c.account(p)
+	return Assignment{Cluster: id, UID: c.uid, Distance: d}
+}
+
+// closest returns the index and distance of the cluster nearest to
+// vals, or (-1, +inf) when no clusters exist. Ties break toward the
+// lowest index, matching the hardware's deterministic comparison tree.
+func (o *Online) closest(vals []uint32) (int, float64) {
+	best, bestD := -1, 0.0
+	for i, c := range o.clusters {
+		d := o.distance(vals, c)
+		if best < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// closestPair returns the pair of clusters with the lowest merge cost.
+func (o *Online) closestPair() (int, int, float64) {
+	bi, bj, bd := -1, -1, 0.0
+	for i := 0; i < len(o.clusters); i++ {
+		for j := i + 1; j < len(o.clusters); j++ {
+			d := o.mergeCost(o.clusters[i], o.clusters[j])
+			if bi < 0 || d < bd {
+				bi, bj, bd = i, j, d
+			}
+		}
+	}
+	return bi, bj, bd
+}
+
+// Snapshot returns the interpretable view of all clusters. The returned
+// slices are copies; mutating them does not affect the clusterer.
+func (o *Online) Snapshot() []Info {
+	out := make([]Info, len(o.clusters))
+	for i, c := range o.clusters {
+		info := Info{
+			ID:                 i,
+			Active:             true,
+			Ranges:             make([]Range, len(o.feats)),
+			NominalCardinality: make([]int, len(o.feats)),
+			Packets:            c.packets,
+			Bytes:              c.bytes,
+			TotalPackets:       c.totalPackets,
+			Benign:             c.benign,
+			Malicious:          c.malicious,
+			Size:               o.clusterCost(c),
+		}
+		for f := range o.feats {
+			if o.nominal[f] {
+				info.NominalCardinality[f] = c.setCard[f]
+			} else {
+				info.Ranges[f] = Range{Min: c.min[f], Max: c.max[f]}
+			}
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// ResetStats zeroes the per-window counters (packets, bytes, labels) on
+// every cluster. The ACC-Turbo controller calls this after each poll.
+func (o *Online) ResetStats() {
+	for _, c := range o.clusters {
+		c.packets, c.bytes, c.benign, c.malicious = 0, 0, 0, 0
+	}
+}
+
+// Reseed discards all clusters (restoring the slice tiling when
+// SliceInit is configured). The controller uses this to let the
+// clustering re-form when aggregates go stale (e.g. between attack
+// pulses).
+func (o *Online) Reseed() {
+	o.clusters = o.clusters[:0]
+	if o.cfg.SliceInit {
+		o.sliceInit()
+	}
+}
+
+// SeedCenters force-seeds Euclidean clusters at the given centers,
+// used by the hybrid offline/online strategy. It panics unless the
+// clusterer is center-based.
+func (o *Online) SeedCenters(centers [][]float64) {
+	if o.cfg.Distance != Euclidean {
+		panic(fmt.Sprintf("cluster: SeedCenters on %v clusterer", o.cfg.Distance))
+	}
+	o.clusters = o.clusters[:0]
+	for _, ctr := range centers {
+		if len(ctr) != len(o.feats) {
+			panic(fmt.Sprintf("cluster: center has %d dims, want %d", len(ctr), len(o.feats)))
+		}
+		vals := make([]uint32, len(ctr))
+		for i, v := range ctr {
+			if v < 0 {
+				v = 0
+			}
+			vals[i] = uint32(v)
+		}
+		c := o.newCluster(vals)
+		copy(c.center, ctr)
+		c.count = 0
+		o.clusters = append(o.clusters, c)
+	}
+}

@@ -1,0 +1,322 @@
+// Package core implements ACC-Turbo, the paper's contribution: online
+// clustering in the data plane (§4) combined with programmable
+// scheduling driven by a periodic control loop (§5).
+//
+// Data plane (per packet, line rate): extract features, assign the
+// packet to its closest cluster (extending the cluster to cover it),
+// and enqueue it into the strict-priority queue currently mapped to
+// that cluster.
+//
+// Control plane (every PollInterval): poll per-cluster statistics
+// (exact byte/packet counts since the last poll, plus cluster sizes),
+// rank clusters by estimated maliciousness, map them to priority
+// queues — most suspicious last — and deploy the mapping after
+// DeployDelay, modeling the controller latency measured in §7
+// (≈1 s with the paper's unoptimized Python controller).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"accturbo/internal/cluster"
+	"accturbo/internal/eventsim"
+	"accturbo/internal/netsim"
+	"accturbo/internal/packet"
+	"accturbo/internal/queue"
+)
+
+// Ranking selects the maliciousness estimate used to order clusters
+// (§5.1). Higher rank means more suspicious, hence lower scheduling
+// priority.
+type Ranking uint8
+
+// Ranking algorithms of §5.1 / Fig. 11a.
+const (
+	// ByThroughput ranks clusters by bytes per polling window ("Th.").
+	ByThroughput Ranking = iota
+	// ByPacketRate ranks by packets per window ("N.P.").
+	ByPacketRate
+	// ByThroughputOverSize divides throughput by the cluster's size
+	// ("Th./Size"): small (high-similarity) clusters at high rate are
+	// the most suspicious.
+	ByThroughputOverSize
+	// ByPacketRateOverSize is the packet-rate analogue ("N.P./Size").
+	ByPacketRateOverSize
+)
+
+// String names the ranking as in Fig. 11a.
+func (r Ranking) String() string {
+	switch r {
+	case ByThroughput:
+		return "Th."
+	case ByPacketRate:
+		return "N.P."
+	case ByThroughputOverSize:
+		return "Th./Size"
+	case ByPacketRateOverSize:
+		return "N.P./Size"
+	default:
+		return fmt.Sprintf("ranking(%d)", uint8(r))
+	}
+}
+
+// Config parameterizes an ACC-Turbo instance.
+type Config struct {
+	// Clustering configures the online clusterer (§4). The hardware
+	// prototype uses 4 clusters; simulations default to 10.
+	Clustering cluster.Config
+	// Ranking selects the cluster-maliciousness estimate.
+	Ranking Ranking
+	// NumQueues is the number of strict-priority queues. Zero defaults
+	// to Clustering.MaxClusters (one queue per cluster, as on Tofino).
+	NumQueues int
+	// QueueBytes is the per-queue buffer capacity. Zero defaults to
+	// 64 KiB.
+	QueueBytes int
+	// PollInterval is the control-plane polling period.
+	PollInterval eventsim.Time
+	// DeployDelay is the latency between computing a new mapping and
+	// it taking effect in the data plane.
+	DeployDelay eventsim.Time
+	// ReseedInterval, when positive, discards all clusters
+	// periodically so aggregates can re-form after traffic shifts
+	// (the controller-driven re-initialization of the prototype).
+	ReseedInterval eventsim.Time
+}
+
+// DefaultConfig mirrors the paper's simulation setup: 10 clusters over
+// the default feature set, throughput ranking, 100 ms polling with
+// 10 ms deployment.
+func DefaultConfig() Config {
+	return Config{
+		Clustering:   cluster.DefaultConfig(10, packet.DefaultSimulationFeatures()),
+		Ranking:      ByThroughput,
+		PollInterval: 100 * eventsim.Millisecond,
+		DeployDelay:  10 * eventsim.Millisecond,
+	}
+}
+
+// HardwareConfig mirrors the §7.1 Tofino deployment: 4 clusters over
+// {dst-IP low bytes, sport, dport}, throughput ranking, and a
+// controller that polls "at maximum speed" but deploys with ≈1 s of
+// latency.
+func HardwareConfig() Config {
+	return Config{
+		Clustering:   cluster.DefaultConfig(4, packet.HardwareFeatures()),
+		Ranking:      ByThroughput,
+		PollInterval: 500 * eventsim.Millisecond,
+		DeployDelay:  500 * eventsim.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Clustering.Validate(); err != nil {
+		return err
+	}
+	if c.NumQueues < 0 {
+		return fmt.Errorf("core: NumQueues %d < 0", c.NumQueues)
+	}
+	if c.PollInterval <= 0 {
+		return fmt.Errorf("core: PollInterval %v must be positive", c.PollInterval)
+	}
+	if c.DeployDelay < 0 {
+		return fmt.Errorf("core: DeployDelay %v must be non-negative", c.DeployDelay)
+	}
+	if c.Ranking > ByPacketRateOverSize {
+		return fmt.Errorf("core: unknown ranking %d", c.Ranking)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumQueues == 0 {
+		c.NumQueues = c.Clustering.MaxClusters
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 64 << 10
+	}
+	return c
+}
+
+// Decision is one control-loop outcome, kept for interpretability
+// (§10): the operator can inspect exactly which cluster went to which
+// queue and why.
+type Decision struct {
+	// At is when the mapping was computed; DeployedAt adds the delay.
+	At         eventsim.Time
+	DeployedAt eventsim.Time
+	// Clusters is the snapshot the decision was based on.
+	Clusters []cluster.Info
+	// Rank holds the computed rank metric per cluster ID.
+	Rank []float64
+	// QueueOf maps cluster ID to its assigned priority queue
+	// (0 = highest priority).
+	QueueOf []int
+}
+
+// Turbo is one ACC-Turbo instance.
+type Turbo struct {
+	cfg       Config
+	eng       *eventsim.Engine
+	clusterer *cluster.Online
+	prio      *queue.Priority
+
+	// queueOf is the live cluster->queue mapping (data plane state).
+	queueOf []int
+
+	// cur tracks the in-flight packet between the ingress stage and
+	// the classifier (the simulator is single-threaded, so the pair of
+	// calls is adjacent).
+	curPkt     *packet.Packet
+	curCluster int
+
+	// Deployments counts mappings pushed to the data plane.
+	Deployments uint64
+	// LastDecision is the most recent control-loop outcome.
+	LastDecision *Decision
+	// OnAssign, when set, observes every (packet, cluster) assignment;
+	// the evaluation harness uses it for purity/recall accounting.
+	OnAssign func(now eventsim.Time, p *packet.Packet, a cluster.Assignment)
+}
+
+// New builds an ACC-Turbo instance on the given engine and schedules
+// its control loop.
+func New(eng *eventsim.Engine, cfg Config) *Turbo {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	t := &Turbo{
+		cfg:       cfg,
+		eng:       eng,
+		clusterer: cluster.NewOnline(cfg.Clustering),
+		queueOf:   make([]int, cfg.Clustering.MaxClusters),
+		curPkt:    nil,
+	}
+	t.prio = queue.NewPriority(cfg.NumQueues, cfg.QueueBytes, t.classify)
+	eng.Every(cfg.PollInterval, func(now eventsim.Time) { t.controlLoop(now) })
+	if cfg.ReseedInterval > 0 {
+		eng.Every(cfg.ReseedInterval, func(now eventsim.Time) { t.clusterer.Reseed() })
+	}
+	return t
+}
+
+// Attach builds a port whose qdisc is the ACC-Turbo priority scheduler
+// and whose ingress runs the clustering stage.
+func Attach(eng *eventsim.Engine, rateBits float64, rec *netsim.Recorder, cfg Config) (*netsim.Port, *Turbo) {
+	t := New(eng, cfg)
+	port := netsim.NewPort(eng, t.prio, rateBits, rec)
+	port.AddIngress(t.Ingress())
+	return port, t
+}
+
+// Qdisc exposes the strict-priority scheduler for custom wiring.
+func (t *Turbo) Qdisc() queue.Qdisc { return t.prio }
+
+// Clusterer exposes the online clusterer (read-only use intended).
+func (t *Turbo) Clusterer() *cluster.Online { return t.clusterer }
+
+// Config returns the (defaulted) configuration.
+func (t *Turbo) Config() Config { return t.cfg }
+
+// Ingress returns the data-plane clustering stage.
+func (t *Turbo) Ingress() netsim.Ingress {
+	return func(now eventsim.Time, p *packet.Packet) bool {
+		a := t.clusterer.Observe(p)
+		t.curPkt, t.curCluster = p, a.Cluster
+		if t.OnAssign != nil {
+			t.OnAssign(now, p, a)
+		}
+		return true // ACC-Turbo never drops at ingress
+	}
+}
+
+// classify maps the packet to the priority queue of its cluster.
+func (t *Turbo) classify(now eventsim.Time, p *packet.Packet) int {
+	if p != t.curPkt {
+		// A packet that bypassed the ingress stage (direct qdisc use):
+		// classify it on the spot without mutating clusters' stats
+		// would diverge from hardware behaviour, so run the full
+		// observation.
+		a := t.clusterer.Observe(p)
+		t.curPkt, t.curCluster = p, a.Cluster
+	}
+	c := t.curCluster
+	if c < len(t.queueOf) {
+		return t.queueOf[c]
+	}
+	return 0
+}
+
+// QueueOf returns the live queue assignment for cluster id.
+func (t *Turbo) QueueOf(id int) int {
+	if id < 0 || id >= len(t.queueOf) {
+		return 0
+	}
+	return t.queueOf[id]
+}
+
+// rankMetric computes the configured maliciousness estimate.
+func (t *Turbo) rankMetric(info cluster.Info) float64 {
+	var m float64
+	switch t.cfg.Ranking {
+	case ByThroughput:
+		m = float64(info.Bytes)
+	case ByPacketRate:
+		m = float64(info.Packets)
+	case ByThroughputOverSize:
+		m = float64(info.Bytes) / (info.Size + 1)
+	case ByPacketRateOverSize:
+		m = float64(info.Packets) / (info.Size + 1)
+	}
+	return m
+}
+
+// controlLoop is the §5.2 scheduler: poll, rank, map, deploy.
+func (t *Turbo) controlLoop(now eventsim.Time) {
+	infos := t.clusterer.Snapshot()
+	t.clusterer.ResetStats()
+	if len(infos) == 0 {
+		return
+	}
+
+	ranks := make([]float64, len(t.queueOf))
+	order := make([]int, 0, len(infos))
+	for _, info := range infos {
+		ranks[info.ID] = t.rankMetric(info)
+		order = append(order, info.ID)
+	}
+	// Least suspicious first; ties keep lower cluster IDs first for
+	// determinism.
+	sort.SliceStable(order, func(i, j int) bool {
+		return ranks[order[i]] < ranks[order[j]]
+	})
+
+	newMap := make([]int, len(t.queueOf))
+	copy(newMap, t.queueOf)
+	n := len(order)
+	for pos, id := range order {
+		// Spread rank positions across the available queues: position
+		// 0 (least suspicious) -> queue 0, last -> queue NumQueues-1.
+		q := pos * t.cfg.NumQueues / n
+		if q >= t.cfg.NumQueues {
+			q = t.cfg.NumQueues - 1
+		}
+		newMap[id] = q
+	}
+
+	dec := &Decision{
+		At:         now,
+		DeployedAt: now + t.cfg.DeployDelay,
+		Clusters:   infos,
+		Rank:       ranks,
+		QueueOf:    newMap,
+	}
+	t.eng.After(t.cfg.DeployDelay, func(eventsim.Time) {
+		t.queueOf = newMap
+		t.Deployments++
+		t.LastDecision = dec
+	})
+}

@@ -1,0 +1,193 @@
+// Package eventsim provides a deterministic discrete-event simulation
+// engine: a virtual nanosecond clock and a priority queue of scheduled
+// callbacks.
+//
+// The engine is single-threaded. Events scheduled for the same instant
+// fire in scheduling order (a monotonically increasing sequence number
+// breaks ties), which makes every simulation exactly reproducible.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(math.MaxInt64)
+
+// Common time unit helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts the virtual time to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromDuration converts a time.Duration into a virtual Time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// FromSeconds converts seconds into a virtual Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String formats the time in seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func(now Time)
+	index int // heap index; -1 when removed
+}
+
+// Handle refers to a scheduled event and allows cancellation.
+type Handle struct{ ev *event }
+
+// Cancelled reports whether the handle's event was cancelled or already
+// fired.
+func (h Handle) done() bool { return h.ev == nil || h.ev.index < 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator instance.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Processed counts events executed since construction.
+	Processed uint64
+}
+
+// New returns an engine with the clock at zero and no pending events.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) panics: it would silently corrupt causality.
+func (e *Engine) At(at Time, fn func(now Time)) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("eventsim: nil event callback")
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run delay nanoseconds from now.
+func (e *Engine) After(delay Time, fn func(now Time)) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	if h.done() {
+		return
+	}
+	heap.Remove(&e.events, h.ev.index)
+}
+
+// Every schedules fn at now+interval, now+2*interval, ... until the
+// engine stops or the returned stop function is called. fn runs before
+// the next occurrence is scheduled, so it may consult Pending() freely.
+func (e *Engine) Every(interval Time, fn func(now Time)) (stop func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("eventsim: non-positive interval %v", interval))
+	}
+	stopped := false
+	var tick func(now Time)
+	tick = func(now Time) {
+		if stopped {
+			return
+		}
+		fn(now)
+		if !stopped {
+			e.After(interval, tick)
+		}
+	}
+	e.After(interval, tick)
+	return func() { stopped = true }
+}
+
+// Run executes events in timestamp order until the queue drains.
+func (e *Engine) Run() {
+	e.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances
+// the clock to deadline (if any events remain they stay queued).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.Processed++
+		ev.fn(ev.at)
+	}
+	if deadline != MaxTime && deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Step executes the single earliest pending event and reports whether
+// one existed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.Processed++
+	ev.fn(ev.at)
+	return true
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"accturbo/internal/acc"
+	"accturbo/internal/cluster"
+	"accturbo/internal/core"
+	"accturbo/internal/eventsim"
+	"accturbo/internal/netsim"
+	"accturbo/internal/packet"
+	"accturbo/internal/traffic"
+)
+
+// fig2Link is the bottleneck rate for the §2 experiments. The original
+// ACC experiment is rate-free (everything is reported as a fraction of
+// link bandwidth); 10 Mbps keeps runs fast.
+const fig2Link = 10e6
+
+// accTurboFig2Config is ACC-Turbo configured like the §2 comparison: 4
+// clusters over destination-address bytes (the aggregates differ by
+// destination /24), throughput ranking.
+func accTurboFig2Config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Clustering = cluster.DefaultConfig(10, packet.FeatureSet{
+		packet.FDstIPByte1, packet.FDstIPByte2, packet.FDstIPByte3,
+	})
+	cfg.Clustering.SliceInit = true
+	cfg.PollInterval = 100 * eventsim.Millisecond
+	cfg.DeployDelay = 50 * eventsim.Millisecond
+	cfg.ReseedInterval = eventsim.Second
+	return cfg
+}
+
+// addAggregateShares appends the Fig. 2/3-style per-aggregate series.
+func addAggregateShares(r *Result, prefix string, rec *netsim.Recorder, linkRate float64) {
+	for id := uint32(1); id <= 5; id++ {
+		s := shareSeries(rec, id, linkRate)
+		s.Name = fmt.Sprintf("%s/Agg%d", prefix, id)
+		r.Add(s)
+	}
+	total := totalShareSeries(rec, linkRate)
+	total.Name = prefix + "/All"
+	r.Add(total)
+	r.Add(dropRateSeries(rec, prefix+"/DropRate"))
+}
+
+// Fig2 reproduces the original ACC experiment: five aggregates over a
+// bottleneck under (a) FIFO, (b) ACC, (c) an ACC monitoring-window
+// sweep, and (d) ACC-Turbo.
+func Fig2(opt Options) *Result {
+	r := &Result{
+		ID:     "fig2",
+		Title:  "ACC original experiment",
+		XLabel: "time (s)",
+		YLabel: "fraction of link bandwidth",
+	}
+	until := 50 * eventsim.Second
+
+	// (a) FIFO: the ramping attack captures the link.
+	recFIFO := runFIFO(traffic.ACCOriginal(fig2Link), fig2Link, until)
+	addAggregateShares(r, "FIFO", recFIFO, fig2Link)
+	r.Note("FIFO: benign drops %.1f%%, attack peaks at %.2f of link",
+		recFIFO.BenignDropPercent(), maxOf(shareSeries(recFIFO, 5, fig2Link).Y))
+
+	// (b) ACC with the Table 4 configuration (K = 2 s).
+	recACC, agent := runACC(traffic.ACCOriginal(fig2Link), fig2Link, until, acc.DefaultConfig())
+	addAggregateShares(r, "ACC", recACC, fig2Link)
+	if agent.FirstActivation >= 0 {
+		r.Note("ACC (K=2s): reaction %.1f s after attack start (paper: ~4 s), benign drops %.1f%%",
+			(agent.FirstActivation - 13*eventsim.Second).Seconds(), recACC.BenignDropPercent())
+	} else {
+		r.Note("ACC (K=2s): never activated")
+	}
+
+	// (c) Impact of K: drop-rate series and activation delay per K.
+	ks := []eventsim.Time{10, 15, 20, 25, 30, 35}
+	if opt.Quick {
+		ks = []eventsim.Time{10, 20, 35}
+	}
+	for _, kSec := range ks {
+		cfg := acc.DefaultConfig()
+		cfg.K = kSec * eventsim.Second
+		recK, agentK := runACC(traffic.ACCOriginal(fig2Link), fig2Link, until, cfg)
+		r.Add(renameSeries(dropRateSeries(recK, ""), fmt.Sprintf("ACC/K=%ds/DropRate", kSec)))
+		if agentK.FirstActivation >= 0 {
+			r.Note("ACC K=%ds: activation at t=%.0f s", kSec, agentK.FirstActivation.Seconds())
+		} else {
+			r.Note("ACC K=%ds: never activated within 50 s", kSec)
+		}
+	}
+
+	// (d) ACC-Turbo: sub-second mitigation, no threshold.
+	tr := runTurbo(traffic.ACCOriginal(fig2Link), fig2Link, until, accTurboFig2Config())
+	addAggregateShares(r, "ACC-Turbo", tr.rec, fig2Link)
+	r.Note("ACC-Turbo: benign drops %.1f%%, attack drops %.1f%%, %d priority deployments",
+		tr.rec.BenignDropPercent(), tr.rec.MaliciousDropPercent(), tr.turbo.Deployments)
+	return r
+}
+
+func renameSeries(s Series, name string) Series {
+	s.Name = name
+	return s
+}
+
+func maxOf(ys []float64) float64 {
+	m := 0.0
+	for _, v := range ys {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

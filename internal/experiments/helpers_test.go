@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"accturbo/internal/eventsim"
+	"accturbo/internal/netsim"
+	"accturbo/internal/packet"
+)
+
+func TestThresholdFor(t *testing.T) {
+	// 80 Mbps of 1000 B packets = 10k pps; over a 5 s window = 50k.
+	if got := thresholdFor(80e6, 1000, 5*eventsim.Second); got != 50_000 {
+		t.Fatalf("thresholdFor = %d", got)
+	}
+}
+
+func TestPulseReduction(t *testing.T) {
+	// Decades alternate quiet/pulse: quiet at 10 Mbps, pulses at 2.5.
+	series := make([]float64, 40)
+	for i := range series {
+		if (i/10)%2 == 1 {
+			series[i] = 2.5e6
+		} else {
+			series[i] = 10e6
+		}
+	}
+	got := pulseReduction(series, 40*eventsim.Second)
+	if got < 70 || got > 80 {
+		t.Fatalf("reduction = %v, want ~75", got)
+	}
+	// No reduction when pulses equal quiet.
+	flat := make([]float64, 40)
+	for i := range flat {
+		flat[i] = 5e6
+	}
+	if got := pulseReduction(flat, 40*eventsim.Second); got != 0 {
+		t.Fatalf("flat series reduction = %v", got)
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	rec := netsim.NewRecorder(eventsim.Second)
+	p := &packet.Packet{
+		SrcIP: packet.V4(1, 1, 1, 1), DstIP: packet.V4(2, 2, 2, 2),
+		Length: 1000, Protocol: packet.ProtoUDP, FlowID: 3,
+	}
+	rec.Arrival(0, p)
+	rec.Delivered(eventsim.Second/2, p)
+
+	s := shareSeries(rec, 3, 80e3) // 1000 B in 1 s = 8000 bits -> share 0.1
+	if len(s.Y) != 1 || s.Y[0] != 0.1 {
+		t.Fatalf("shareSeries = %+v", s)
+	}
+	tot := totalShareSeries(rec, 80e3)
+	if tot.Y[0] != 0.1 {
+		t.Fatalf("totalShareSeries = %+v", tot)
+	}
+	th := throughputSeries(rec, packet.Benign, "x")
+	if th.Y[0] != 8000.0/1e6 {
+		t.Fatalf("throughputSeries = %+v", th)
+	}
+	dr := dropRateSeries(rec, "d")
+	if dr.Name != "d" || dr.Y[0] != 0 {
+		t.Fatalf("dropRateSeries = %+v", dr)
+	}
+}
+
+func TestTurboRunScore(t *testing.T) {
+	tr := &turboRun{}
+	// Bin 0: benign avg queue 0, malicious avg queue 3 -> win.
+	// Bin 1: both average 1 -> tie (loss). Bin 2: only benign -> skip.
+	tr.queueSum[0] = []float64{0, 2, 1}
+	tr.pktCount[0] = []float64{4, 2, 1}
+	tr.queueSum[1] = []float64{9, 3, 0}
+	tr.pktCount[1] = []float64{3, 3, 0}
+	if got := tr.score(); got != 50 {
+		t.Fatalf("score = %v, want 50", got)
+	}
+	if (&turboRun{}).score() != 0 {
+		t.Fatal("empty score should be 0")
+	}
+}
+
+func TestBufferFor(t *testing.T) {
+	if bufferFor(10e6) != 125_000 {
+		t.Fatalf("bufferFor(10e6) = %d", bufferFor(10e6))
+	}
+	if bufferFor(1) != 10_000 {
+		t.Fatal("floor not applied")
+	}
+}
+
+func TestMinMaxOf(t *testing.T) {
+	if minOf([]float64{3, 1, 2}) != 1 || maxOf([]float64{3, 1, 2}) != 3 {
+		t.Fatal("min/max wrong")
+	}
+	if minOf(nil) != 0 || maxOf(nil) != 0 {
+		t.Fatal("empty min/max should be 0")
+	}
+}
+
+func TestRenameSeries(t *testing.T) {
+	s := renameSeries(Series{Name: "a", Y: []float64{1}}, "b")
+	if s.Name != "b" || s.Y[0] != 1 {
+		t.Fatalf("renameSeries = %+v", s)
+	}
+}

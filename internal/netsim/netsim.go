@@ -1,0 +1,155 @@
+// Package netsim models the network elements of the evaluation: an
+// output port (bottleneck link) driven by a queueing discipline, a
+// per-second statistics recorder with ground-truth attribution, and a
+// trace replayer that feeds traffic sources into the event engine.
+//
+// The paper's experiments all share one topology — traffic converges on
+// a switch whose output link is the bottleneck — so the substrate
+// models that port precisely (line-rate serialization, qdisc-governed
+// buffering) rather than a general topology.
+package netsim
+
+import (
+	"fmt"
+
+	"accturbo/internal/eventsim"
+	"accturbo/internal/packet"
+	"accturbo/internal/queue"
+	"accturbo/internal/traffic"
+)
+
+// Ingress processes a packet before it reaches the output queue (rate
+// limiters, clustering stages). Returning false drops the packet at the
+// policer.
+type Ingress func(now eventsim.Time, p *packet.Packet) bool
+
+// Port is an output port: an ingress pipeline, a queueing discipline,
+// and a transmitter draining it at a fixed line rate.
+type Port struct {
+	eng     *eventsim.Engine
+	qdisc   queue.Qdisc
+	rate    float64 // bits per nanosecond... stored as bits/sec
+	ingress []Ingress
+	rec     *Recorder
+	busy    bool
+
+	// Delivered is invoked for every packet that finishes
+	// serialization (the sink side), after recording.
+	Delivered func(now eventsim.Time, p *packet.Packet)
+	// Dropped is invoked for every packet rejected anywhere in the
+	// port (policer or qdisc), after recording. Closed-loop senders
+	// (AIMD) use it as their loss signal.
+	Dropped func(now eventsim.Time, p *packet.Packet)
+}
+
+// NewPort builds a port transmitting at rateBits over the given qdisc.
+// The recorder may be nil when no accounting is needed.
+func NewPort(eng *eventsim.Engine, q queue.Qdisc, rateBits float64, rec *Recorder) *Port {
+	if rateBits <= 0 {
+		panic(fmt.Sprintf("netsim: port rate %v must be positive", rateBits))
+	}
+	if q == nil {
+		panic("netsim: nil qdisc")
+	}
+	p := &Port{eng: eng, qdisc: q, rate: rateBits, rec: rec}
+	// Report every qdisc-level drop (tail, early, push-out) to the
+	// recorder and the Dropped hook, whatever the discipline.
+	type dropHook interface{ OnDrop(queue.DropFunc) }
+	if dh, ok := q.(dropHook); ok {
+		dh.OnDrop(func(now eventsim.Time, pkt *packet.Packet, reason queue.DropReason) {
+			if p.rec != nil {
+				p.rec.Dropped(now, pkt, reason)
+			}
+			if p.Dropped != nil {
+				p.Dropped(now, pkt)
+			}
+		})
+	}
+	return p
+}
+
+// RateBits returns the configured line rate.
+func (p *Port) RateBits() float64 { return p.rate }
+
+// Qdisc returns the attached discipline.
+func (p *Port) Qdisc() queue.Qdisc { return p.qdisc }
+
+// AddIngress appends a stage to the ingress pipeline; stages run in
+// registration order.
+func (p *Port) AddIngress(f Ingress) {
+	if f == nil {
+		panic("netsim: nil ingress stage")
+	}
+	p.ingress = append(p.ingress, f)
+}
+
+// Inject offers a packet to the port at the current virtual time.
+func (p *Port) Inject(now eventsim.Time, pkt *packet.Packet) {
+	if p.rec != nil {
+		p.rec.Arrival(now, pkt)
+	}
+	for _, stage := range p.ingress {
+		if !stage(now, pkt) {
+			if p.rec != nil {
+				p.rec.Dropped(now, pkt, queue.DropPolicer)
+			}
+			if p.Dropped != nil {
+				p.Dropped(now, pkt)
+			}
+			return
+		}
+	}
+	if p.qdisc.Enqueue(now, pkt) != queue.DropNone {
+		// Drop already recorded via the qdisc hook (or ignored when no
+		// recorder is attached).
+		return
+	}
+	p.pump(now)
+}
+
+// pump starts transmitting if the line is idle.
+func (p *Port) pump(now eventsim.Time) {
+	if p.busy {
+		return
+	}
+	pkt := p.qdisc.Dequeue(now)
+	if pkt == nil {
+		return
+	}
+	p.busy = true
+	txTime := eventsim.Time(float64(pkt.Size()*8) / p.rate * float64(eventsim.Second))
+	if txTime < 1 {
+		txTime = 1
+	}
+	p.eng.After(txTime, func(t eventsim.Time) {
+		p.busy = false
+		if p.rec != nil {
+			p.rec.Delivered(t, pkt)
+		}
+		if p.Delivered != nil {
+			p.Delivered(t, pkt)
+		}
+		p.pump(t)
+	})
+}
+
+// Replay schedules every packet of src as an arrival at the port,
+// chaining events so only one pending arrival exists at a time.
+func Replay(eng *eventsim.Engine, src traffic.Source, port *Port) {
+	var step func(tp traffic.TimedPacket)
+	step = func(tp traffic.TimedPacket) {
+		at := tp.At
+		if at < eng.Now() {
+			at = eng.Now()
+		}
+		eng.At(at, func(now eventsim.Time) {
+			port.Inject(now, tp.Pkt)
+			if next, ok := src.Next(); ok {
+				step(next)
+			}
+		})
+	}
+	if first, ok := src.Next(); ok {
+		step(first)
+	}
+}

@@ -1,0 +1,255 @@
+package netsim
+
+import (
+	"fmt"
+
+	"accturbo/internal/eventsim"
+	"accturbo/internal/packet"
+	"accturbo/internal/queue"
+)
+
+// Recorder accumulates time-binned traffic statistics with ground-truth
+// attribution. Every experiment series in the paper (bandwidth shares,
+// drop rates, benign-drop percentages, reaction times) is derived from
+// a Recorder.
+type Recorder struct {
+	binWidth eventsim.Time
+	bins     []binStats
+	perFlow  map[uint32][]uint64 // FlowID -> delivered bytes per bin
+
+	seqNext map[uint32]uint64 // FlowID -> next arrival sequence
+	seqMax  map[uint32]uint64 // FlowID -> highest delivered sequence
+
+	arrivedAt map[*packet.Packet]eventsim.Time
+	delaySum  [2]eventsim.Time // per label
+	delayMax  [2]eventsim.Time
+
+	// Totals since construction (packets).
+	ArrivedBenign, ArrivedMalicious uint64
+	DroppedBenign, DroppedMalicious uint64
+	DeliveredBenignPkts             uint64
+	DeliveredMaliciousPkts          uint64
+	// Reordered counts delivered packets that left after a same-flow
+	// packet that arrived later (§10's reordering discussion).
+	Reordered uint64
+}
+
+type binStats struct {
+	arrivedBytes   [2]uint64 // indexed by label
+	deliveredBytes [2]uint64
+	droppedBytes   [2]uint64
+	arrivedPkts    [2]uint64
+	deliveredPkts  [2]uint64
+	droppedPkts    [2]uint64
+}
+
+// NewRecorder creates a recorder with the given bin width (typically
+// one second, matching the paper's plots).
+func NewRecorder(binWidth eventsim.Time) *Recorder {
+	if binWidth <= 0 {
+		panic(fmt.Sprintf("netsim: bin width %v must be positive", binWidth))
+	}
+	return &Recorder{
+		binWidth:  binWidth,
+		perFlow:   map[uint32][]uint64{},
+		seqNext:   map[uint32]uint64{},
+		seqMax:    map[uint32]uint64{},
+		arrivedAt: map[*packet.Packet]eventsim.Time{},
+	}
+}
+
+// BinWidth returns the configured bin width.
+func (r *Recorder) BinWidth() eventsim.Time { return r.binWidth }
+
+// Bins returns the number of bins touched so far.
+func (r *Recorder) Bins() int { return len(r.bins) }
+
+func (r *Recorder) bin(now eventsim.Time) *binStats {
+	i := int(now / r.binWidth)
+	for len(r.bins) <= i {
+		r.bins = append(r.bins, binStats{})
+	}
+	return &r.bins[i]
+}
+
+// Arrival records a packet offered to the port and stamps its per-flow
+// arrival sequence number (used for reordering detection).
+func (r *Recorder) Arrival(now eventsim.Time, p *packet.Packet) {
+	r.seqNext[p.FlowID]++
+	p.Seq = r.seqNext[p.FlowID]
+	r.arrivedAt[p] = now
+	b := r.bin(now)
+	l := labelIndex(p)
+	b.arrivedBytes[l] += uint64(p.Size())
+	b.arrivedPkts[l]++
+	if l == 1 {
+		r.ArrivedMalicious++
+	} else {
+		r.ArrivedBenign++
+	}
+}
+
+// Delivered records a packet that completed transmission.
+func (r *Recorder) Delivered(now eventsim.Time, p *packet.Packet) {
+	if p.Seq > 0 {
+		if p.Seq < r.seqMax[p.FlowID] {
+			r.Reordered++
+		} else {
+			r.seqMax[p.FlowID] = p.Seq
+		}
+	}
+	if at, ok := r.arrivedAt[p]; ok {
+		d := now - at
+		li := labelIndex(p)
+		r.delaySum[li] += d
+		if d > r.delayMax[li] {
+			r.delayMax[li] = d
+		}
+		delete(r.arrivedAt, p)
+	}
+	b := r.bin(now)
+	l := labelIndex(p)
+	b.deliveredBytes[l] += uint64(p.Size())
+	b.deliveredPkts[l]++
+	if l == 1 {
+		r.DeliveredMaliciousPkts++
+	} else {
+		r.DeliveredBenignPkts++
+	}
+	i := int(now / r.binWidth)
+	s := r.perFlow[p.FlowID]
+	for len(s) <= i {
+		s = append(s, 0)
+	}
+	s[i] += uint64(p.Size())
+	r.perFlow[p.FlowID] = s
+}
+
+// Dropped records a packet rejected anywhere in the port (policer,
+// early drop, tail drop, push-out).
+func (r *Recorder) Dropped(now eventsim.Time, p *packet.Packet, _ queue.DropReason) {
+	delete(r.arrivedAt, p)
+	b := r.bin(now)
+	l := labelIndex(p)
+	b.droppedBytes[l] += uint64(p.Size())
+	b.droppedPkts[l]++
+	if l == 1 {
+		r.DroppedMalicious++
+	} else {
+		r.DroppedBenign++
+	}
+}
+
+func labelIndex(p *packet.Packet) int {
+	if p.Label == packet.Malicious {
+		return 1
+	}
+	return 0
+}
+
+// DeliveredBits returns per-bin delivered throughput in bits/second for
+// the given label class.
+func (r *Recorder) DeliveredBits(label packet.Label) []float64 {
+	out := make([]float64, len(r.bins))
+	scale := 8 / r.binWidth.Seconds()
+	for i, b := range r.bins {
+		out[i] = float64(b.deliveredBytes[label&1]) * scale
+	}
+	return out
+}
+
+// ArrivedBits returns per-bin offered load in bits/second for the given
+// label class.
+func (r *Recorder) ArrivedBits(label packet.Label) []float64 {
+	out := make([]float64, len(r.bins))
+	scale := 8 / r.binWidth.Seconds()
+	for i, b := range r.bins {
+		out[i] = float64(b.arrivedBytes[label&1]) * scale
+	}
+	return out
+}
+
+// FlowDeliveredBits returns the per-bin delivered throughput of one
+// FlowID in bits/second, padded to Bins() length.
+func (r *Recorder) FlowDeliveredBits(flowID uint32) []float64 {
+	out := make([]float64, len(r.bins))
+	scale := 8 / r.binWidth.Seconds()
+	for i, v := range r.perFlow[flowID] {
+		if i < len(out) {
+			out[i] = float64(v) * scale
+		}
+	}
+	return out
+}
+
+// DropRate returns the per-bin packet drop rate (dropped / arrived)
+// across both classes, the bottom-row series of Fig. 2.
+func (r *Recorder) DropRate() []float64 {
+	out := make([]float64, len(r.bins))
+	for i, b := range r.bins {
+		arr := b.arrivedPkts[0] + b.arrivedPkts[1]
+		drp := b.droppedPkts[0] + b.droppedPkts[1]
+		if arr > 0 {
+			out[i] = float64(drp) / float64(arr)
+		}
+	}
+	return out
+}
+
+// BenignDropPercent returns 100 * dropped benign packets / arrived
+// benign packets over the whole run — the Table 3 / Fig. 8 metric.
+func (r *Recorder) BenignDropPercent() float64 {
+	if r.ArrivedBenign == 0 {
+		return 0
+	}
+	return 100 * float64(r.DroppedBenign) / float64(r.ArrivedBenign)
+}
+
+// MaliciousDropPercent is the malicious-class analogue.
+func (r *Recorder) MaliciousDropPercent() float64 {
+	if r.ArrivedMalicious == 0 {
+		return 0
+	}
+	return 100 * float64(r.DroppedMalicious) / float64(r.ArrivedMalicious)
+}
+
+// MeanDelay returns the average port transit delay (queueing +
+// serialization) of delivered packets in the class, and the maximum.
+// Deprioritized traffic shows its penalty here while benign latency
+// stays flat (the scheduling story of §5).
+func (r *Recorder) MeanDelay(label packet.Label) (mean, max eventsim.Time) {
+	li := int(label & 1)
+	var n uint64
+	if li == 1 {
+		n = r.DeliveredMaliciousPkts
+	} else {
+		n = r.DeliveredBenignPkts
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return r.delaySum[li] / eventsim.Time(n), r.delayMax[li]
+}
+
+// RecoveryTime scans delivered benign throughput after attackStart and
+// returns the first bin time at which it recovers to at least frac of
+// its pre-attack average, or -1 if it never does. Used for
+// reaction-time readouts (Fig. 6b, Fig. 7).
+func (r *Recorder) RecoveryTime(attackStart eventsim.Time, frac float64) eventsim.Time {
+	series := r.DeliveredBits(packet.Benign)
+	startBin := int(attackStart / r.binWidth)
+	if startBin <= 0 || startBin >= len(series) {
+		return -1
+	}
+	var base float64
+	for i := 0; i < startBin; i++ {
+		base += series[i]
+	}
+	base /= float64(startBin)
+	for i := startBin; i < len(series); i++ {
+		if series[i] >= frac*base {
+			return eventsim.Time(i) * r.binWidth
+		}
+	}
+	return -1
+}

@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"fmt"
+
+	"accturbo/internal/eventsim"
+	"accturbo/internal/packet"
+	"accturbo/internal/traffic"
+)
+
+// Multi-hop support: ports chain into paths. The paper's local ACC and
+// ACC-Turbo need only the single bottleneck port, but the pushback
+// extension (internal/acc/pushback.go) rate-limits aggregates at
+// upstream switches, which requires upstream links with their own
+// queues.
+
+// Chain forwards every packet delivered by src into dst after a fixed
+// propagation delay, modeling a link between two switches.
+func Chain(eng *eventsim.Engine, src *Port, dst *Port, propagation eventsim.Time) {
+	if propagation < 0 {
+		panic(fmt.Sprintf("netsim: negative propagation %v", propagation))
+	}
+	prev := src.Delivered
+	src.Delivered = func(now eventsim.Time, p *packet.Packet) {
+		if prev != nil {
+			prev(now, p)
+		}
+		eng.After(propagation, func(t eventsim.Time) {
+			dst.Inject(t, p)
+		})
+	}
+}
+
+// FanIn replays a source into one of several ingress ports chosen per
+// packet by route, modeling traffic entering the network at different
+// edge switches.
+func FanIn(eng *eventsim.Engine, src traffic.Source, ports []*Port, route func(p *packet.Packet) int) {
+	if len(ports) == 0 {
+		panic("netsim: FanIn with no ports")
+	}
+	var step func(tp traffic.TimedPacket)
+	step = func(tp traffic.TimedPacket) {
+		at := tp.At
+		if at < eng.Now() {
+			at = eng.Now()
+		}
+		eng.At(at, func(now eventsim.Time) {
+			i := route(tp.Pkt)
+			if i < 0 {
+				i = 0
+			}
+			if i >= len(ports) {
+				i = len(ports) - 1
+			}
+			ports[i].Inject(now, tp.Pkt)
+			if next, ok := src.Next(); ok {
+				step(next)
+			}
+		})
+	}
+	if first, ok := src.Next(); ok {
+		step(first)
+	}
+}

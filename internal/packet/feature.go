@@ -1,0 +1,170 @@
+package packet
+
+import "fmt"
+
+// Feature identifies a packet-header field usable as a clustering
+// dimension (§4.1 of the paper). Features are either ordinal (value
+// proximity implies similarity: addresses, lengths, TTLs) or nominal
+// (proximity is meaningless: ports, protocol numbers).
+type Feature uint8
+
+// Features supported by the extractor. The *Byte features expose one
+// octet of an address, matching the paper's simulation configuration
+// ("each byte of the ip.src and ip.dst") and the hardware configuration
+// ("the last two bytes of the IP destination address").
+const (
+	FSrcIP Feature = iota // full source address as uint32, ordinal
+	FDstIP                // full destination address as uint32, ordinal
+	FSrcIPByte0
+	FSrcIPByte1
+	FSrcIPByte2
+	FSrcIPByte3
+	FDstIPByte0
+	FDstIPByte1
+	FDstIPByte2
+	FDstIPByte3
+	FSrcPort // nominal
+	FDstPort // nominal
+	FTTL
+	FLength
+	FID
+	FFragOffset
+	FProtocol // nominal
+	numFeatures
+)
+
+// NumFeatures is the count of distinct Feature values.
+const NumFeatures = int(numFeatures)
+
+var featureNames = [...]string{
+	FSrcIP:      "ip.src",
+	FDstIP:      "ip.dst",
+	FSrcIPByte0: "ip.src[0]",
+	FSrcIPByte1: "ip.src[1]",
+	FSrcIPByte2: "ip.src[2]",
+	FSrcIPByte3: "ip.src[3]",
+	FDstIPByte0: "ip.dst[0]",
+	FDstIPByte1: "ip.dst[1]",
+	FDstIPByte2: "ip.dst[2]",
+	FDstIPByte3: "ip.dst[3]",
+	FSrcPort:    "sport",
+	FDstPort:    "dport",
+	FTTL:        "ip.ttl",
+	FLength:     "ip.len",
+	FID:         "ip.id",
+	FFragOffset: "ip.f_offset",
+	FProtocol:   "ip.proto",
+}
+
+// String returns the paper's name for the feature (e.g. "ip.ttl").
+func (f Feature) String() string {
+	if int(f) < len(featureNames) {
+		return featureNames[f]
+	}
+	return fmt.Sprintf("feature(%d)", uint8(f))
+}
+
+// Nominal reports whether the feature is nominal: value proximity does
+// not imply packet similarity. Ports and the protocol number are
+// nominal; everything else modeled here is ordinal (§4.1).
+func (f Feature) Nominal() bool {
+	switch f {
+	case FSrcPort, FDstPort, FProtocol:
+		return true
+	default:
+		return false
+	}
+}
+
+// Bits returns the width of the feature's value space in bits, used to
+// size distance normalizations and Anime cost computations.
+func (f Feature) Bits() int {
+	switch f {
+	case FSrcIP, FDstIP:
+		return 32
+	case FSrcPort, FDstPort, FLength, FID:
+		return 16
+	case FFragOffset:
+		return 13
+	default:
+		return 8
+	}
+}
+
+// MaxValue returns the largest value the feature can take.
+func (f Feature) MaxValue() uint32 {
+	return uint32(1)<<f.Bits() - 1
+}
+
+// Value extracts the feature's value from the packet.
+func (p *Packet) Value(f Feature) uint32 {
+	switch f {
+	case FSrcIP:
+		a := p.SrcIP.As4()
+		return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+	case FDstIP:
+		a := p.DstIP.As4()
+		return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+	case FSrcIPByte0, FSrcIPByte1, FSrcIPByte2, FSrcIPByte3:
+		a := p.SrcIP.As4()
+		return uint32(a[f-FSrcIPByte0])
+	case FDstIPByte0, FDstIPByte1, FDstIPByte2, FDstIPByte3:
+		a := p.DstIP.As4()
+		return uint32(a[f-FDstIPByte0])
+	case FSrcPort:
+		return uint32(p.SrcPort)
+	case FDstPort:
+		return uint32(p.DstPort)
+	case FTTL:
+		return uint32(p.TTL)
+	case FLength:
+		return uint32(p.Length)
+	case FID:
+		return uint32(p.ID)
+	case FFragOffset:
+		return uint32(p.FragOffset)
+	case FProtocol:
+		return uint32(p.Protocol)
+	default:
+		return 0
+	}
+}
+
+// FeatureSet is an ordered list of clustering dimensions.
+type FeatureSet []Feature
+
+// Extract fills dst (which must have len(fs) capacity) with the
+// packet's feature values in set order and returns it. A nil dst
+// allocates.
+func (fs FeatureSet) Extract(p *Packet, dst []uint32) []uint32 {
+	if dst == nil {
+		dst = make([]uint32, len(fs))
+	}
+	dst = dst[:len(fs)]
+	for i, f := range fs {
+		dst[i] = p.Value(f)
+	}
+	return dst
+}
+
+// DefaultSimulationFeatures is the paper's §8 default: each byte of the
+// source and destination addresses, both ports, TTL, and total length.
+func DefaultSimulationFeatures() FeatureSet {
+	return FeatureSet{
+		FSrcIPByte0, FSrcIPByte1, FSrcIPByte2, FSrcIPByte3,
+		FDstIPByte0, FDstIPByte1, FDstIPByte2, FDstIPByte3,
+		FSrcPort, FDstPort, FTTL, FLength,
+	}
+}
+
+// HardwareFeatures is the paper's §7.1 Tofino configuration: the last
+// two bytes of the destination address plus both ports.
+func HardwareFeatures() FeatureSet {
+	return FeatureSet{FDstIPByte2, FDstIPByte3, FSrcPort, FDstPort}
+}
+
+// DstIPFeatures is the §7.2 configuration: the four bytes of the
+// destination address.
+func DstIPFeatures() FeatureSet {
+	return FeatureSet{FDstIPByte0, FDstIPByte1, FDstIPByte2, FDstIPByte3}
+}

@@ -1,0 +1,25 @@
+package packet
+
+import "testing"
+
+// FuzzUnmarshal checks that arbitrary bytes never panic the parser and
+// that anything parsed re-marshals without error.
+func FuzzUnmarshal(f *testing.F) {
+	p := &Packet{
+		SrcIP: V4(10, 0, 1, 2), DstIP: V4(192, 168, 3, 4),
+		Length: 64, TTL: 64, Protocol: ProtoUDP, SrcPort: 123, DstPort: 456,
+	}
+	wire, _ := p.Marshal()
+	f.Add(wire)
+	f.Add([]byte{})
+	f.Add([]byte{0x45})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if _, err := q.Marshal(); err != nil {
+			t.Fatalf("parsed packet failed to marshal: %v (%+v)", err, q)
+		}
+	})
+}

@@ -1,0 +1,350 @@
+package packet
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		SrcIP:      V4(10, 0, 1, 2),
+		DstIP:      V4(192, 168, 3, 4),
+		Length:     512,
+		ID:         0xbeef,
+		FragOffset: 0,
+		TTL:        64,
+		Protocol:   ProtoUDP,
+		SrcPort:    123,
+		DstPort:    4444,
+		Label:      Malicious,
+		Vector:     "NTP",
+		FlowID:     7,
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	cases := map[Proto]string{
+		ProtoICMP: "ICMP",
+		ProtoTCP:  "TCP",
+		ProtoUDP:  "UDP",
+		Proto(99): "proto(99)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Proto(%d).String() = %q, want %q", uint8(p), got, want)
+		}
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if Benign.String() != "benign" || Malicious.String() != "malicious" {
+		t.Errorf("label strings wrong: %q %q", Benign, Malicious)
+	}
+}
+
+func TestFlowRoundTrip(t *testing.T) {
+	p := samplePacket()
+	f := p.Flow()
+	if f.Protocol != ProtoUDP {
+		t.Errorf("flow protocol = %v", f.Protocol)
+	}
+	if f.Src.Addr != p.SrcIP || f.Src.Port != p.SrcPort {
+		t.Errorf("flow src = %v", f.Src)
+	}
+	if f.Dst.Addr != p.DstIP || f.Dst.Port != p.DstPort {
+		t.Errorf("flow dst = %v", f.Dst)
+	}
+	r := f.Reverse()
+	if r.Src != f.Dst || r.Dst != f.Src {
+		t.Errorf("reverse flow wrong: %v", r)
+	}
+	if r.Reverse() != f {
+		t.Errorf("double reverse is not identity")
+	}
+}
+
+func TestFlowAsMapKey(t *testing.T) {
+	m := map[Flow]int{}
+	p := samplePacket()
+	m[p.Flow()]++
+	q := p.Clone()
+	m[q.Flow()]++
+	if m[p.Flow()] != 2 {
+		t.Errorf("identical packets should share a flow key, got %v", m)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := samplePacket()
+	q := p.Clone()
+	if !reflect.DeepEqual(p, q) {
+		t.Fatalf("clone differs: %+v vs %+v", p, q)
+	}
+	q.TTL = 1
+	if p.TTL == 1 {
+		t.Fatalf("clone aliases original")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	for _, proto := range []Proto{ProtoTCP, ProtoUDP, ProtoICMP} {
+		p := samplePacket()
+		p.Protocol = proto
+		if proto == ProtoICMP {
+			p.SrcPort, p.DstPort, p.Flags = 0, 0, 0
+		}
+		if proto == ProtoTCP {
+			p.Flags = FlagSYN | FlagACK
+		}
+		b, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("%v: Marshal: %v", proto, err)
+		}
+		if len(b) != int(p.Length) {
+			t.Fatalf("%v: wire length %d, want %d", proto, len(b), p.Length)
+		}
+		q, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%v: Unmarshal: %v", proto, err)
+		}
+		if q.SrcIP != p.SrcIP || q.DstIP != p.DstIP || q.Length != p.Length ||
+			q.ID != p.ID || q.TTL != p.TTL || q.Protocol != p.Protocol {
+			t.Errorf("%v: IP fields differ: %+v vs %+v", proto, q, p)
+		}
+		if proto != ProtoICMP && (q.SrcPort != p.SrcPort || q.DstPort != p.DstPort) {
+			t.Errorf("%v: ports differ: %+v", proto, q)
+		}
+		if proto == ProtoTCP && q.Flags != p.Flags {
+			t.Errorf("TCP flags differ: %x vs %x", q.Flags, p.Flags)
+		}
+	}
+}
+
+func TestMarshalChecksumValid(t *testing.T) {
+	p := samplePacket()
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-summing the header including the stored checksum must give 0
+	// (i.e. ^sum == 0xffff folding to all-ones complement identity).
+	if got := checksum(b[:ipv4HeaderLen]); got != 0 {
+		t.Errorf("IPv4 header checksum does not verify: residual %#x", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err == nil {
+		t.Errorf("short buffer should fail")
+	}
+	b := make([]byte, 20)
+	b[0] = 0x65 // IPv6 version nibble
+	if _, err := Unmarshal(b); err == nil {
+		t.Errorf("non-v4 should fail")
+	}
+	p := samplePacket()
+	w, _ := p.Marshal()
+	w[2], w[3] = 0xff, 0xff // total length beyond capture
+	if _, err := Unmarshal(w); err == nil {
+		t.Errorf("overlong total length should fail")
+	}
+}
+
+func TestMarshalMinimumLength(t *testing.T) {
+	p := samplePacket()
+	p.Length = 4 // below header size: WireLen must grow to fit headers
+	if p.WireLen() != ipv4HeaderLen+udpHeaderLen {
+		t.Fatalf("WireLen = %d", p.WireLen())
+	}
+	if _, err := p.Marshal(); err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+}
+
+func TestMarshalToShortBuffer(t *testing.T) {
+	p := samplePacket()
+	if err := p.MarshalTo(make([]byte, 8)); err == nil {
+		t.Fatal("MarshalTo with a short buffer should fail")
+	}
+}
+
+func TestMarshalRejectsNonV4(t *testing.T) {
+	p := samplePacket()
+	p.SrcIP = netip.MustParseAddr("2001:db8::1")
+	if _, err := p.Marshal(); err == nil {
+		t.Fatal("IPv6 source should be rejected")
+	}
+}
+
+func TestFeatureValues(t *testing.T) {
+	p := samplePacket()
+	cases := map[Feature]uint32{
+		FSrcIP:      0x0a000102,
+		FDstIP:      0xc0a80304,
+		FSrcIPByte0: 10, FSrcIPByte1: 0, FSrcIPByte2: 1, FSrcIPByte3: 2,
+		FDstIPByte0: 192, FDstIPByte1: 168, FDstIPByte2: 3, FDstIPByte3: 4,
+		FSrcPort: 123, FDstPort: 4444,
+		FTTL: 64, FLength: 512, FID: 0xbeef, FFragOffset: 0,
+		FProtocol: 17,
+	}
+	for f, want := range cases {
+		if got := p.Value(f); got != want {
+			t.Errorf("Value(%v) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestFeatureMetadata(t *testing.T) {
+	for f := Feature(0); f < numFeatures; f++ {
+		if f.String() == "" {
+			t.Errorf("feature %d has no name", f)
+		}
+		if f.Bits() <= 0 || f.Bits() > 32 {
+			t.Errorf("%v: bits = %d", f, f.Bits())
+		}
+	}
+	if !FSrcPort.Nominal() || !FDstPort.Nominal() || !FProtocol.Nominal() {
+		t.Errorf("ports and protocol must be nominal")
+	}
+	if FSrcIP.Nominal() || FTTL.Nominal() || FLength.Nominal() {
+		t.Errorf("addresses, TTL, length must be ordinal")
+	}
+	if FSrcIP.MaxValue() != 0xffffffff || FTTL.MaxValue() != 255 || FFragOffset.MaxValue() != 0x1fff {
+		t.Errorf("MaxValue wrong")
+	}
+}
+
+func TestFeatureSetExtract(t *testing.T) {
+	fs := FeatureSet{FTTL, FLength, FSrcPort}
+	p := samplePacket()
+	got := fs.Extract(p, nil)
+	want := []uint32{64, 512, 123}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Extract = %v, want %v", got, want)
+	}
+	// Reuse path.
+	buf := make([]uint32, 3)
+	got2 := fs.Extract(p, buf)
+	if &got2[0] != &buf[0] {
+		t.Errorf("Extract should reuse the provided buffer")
+	}
+}
+
+func TestDefaultFeatureSets(t *testing.T) {
+	if n := len(DefaultSimulationFeatures()); n != 12 {
+		t.Errorf("simulation set has %d features, want 12", n)
+	}
+	if n := len(HardwareFeatures()); n != 4 {
+		t.Errorf("hardware set has %d features, want 4", n)
+	}
+	if n := len(DstIPFeatures()); n != 4 {
+		t.Errorf("dst-ip set has %d features, want 4", n)
+	}
+}
+
+// randomPacket draws a structurally valid random packet.
+func randomPacket(r *rand.Rand) *Packet {
+	protos := []Proto{ProtoTCP, ProtoUDP, ProtoICMP}
+	p := &Packet{
+		SrcIP:      V4(byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))),
+		DstIP:      V4(byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))),
+		ID:         uint16(r.Intn(1 << 16)),
+		FragOffset: uint16(r.Intn(1 << 13)),
+		TTL:        uint8(r.Intn(256)),
+		Protocol:   protos[r.Intn(len(protos))],
+	}
+	p.Length = uint16(p.headerLen() + r.Intn(1400))
+	if p.Protocol != ProtoICMP {
+		p.SrcPort = uint16(r.Intn(1 << 16))
+		p.DstPort = uint16(r.Intn(1 << 16))
+	}
+	return p
+}
+
+func TestQuickWireRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPacket(r)
+		b, err := p.Marshal()
+		if err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		q, err := Unmarshal(b)
+		if err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+		ok := q.SrcIP == p.SrcIP && q.DstIP == p.DstIP && q.Length == p.Length &&
+			q.ID == p.ID && q.FragOffset == p.FragOffset && q.TTL == p.TTL &&
+			q.Protocol == p.Protocol && q.SrcPort == p.SrcPort && q.DstPort == p.DstPort
+		if !ok {
+			t.Logf("mismatch: %+v vs %+v", p, q)
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFeatureValueWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPacket(r)
+		for ft := Feature(0); ft < numFeatures; ft++ {
+			if p.Value(ft) > ft.MaxValue() {
+				t.Logf("%v value %d exceeds max %d", ft, p.Value(ft), ft.MaxValue())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickChecksumDetectsCorruption(t *testing.T) {
+	f := func(seed int64, flip uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPacket(r)
+		b, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		pos := int(flip) % ipv4HeaderLen
+		b[pos] ^= 0x01
+		// After flipping one bit in the header, the checksum must no
+		// longer verify (unless we flipped within the checksum field
+		// itself, which still breaks verification).
+		return checksum(b[:ipv4HeaderLen]) != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	p := samplePacket()
+	buf := make([]byte, p.WireLen())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.MarshalTo(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeatureExtract(b *testing.B) {
+	p := samplePacket()
+	fs := DefaultSimulationFeatures()
+	buf := make([]uint32, len(fs))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs.Extract(p, buf)
+	}
+}

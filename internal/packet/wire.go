@@ -1,0 +1,181 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Wire-format support: Marshal renders a Packet into real IPv4+TCP/UDP
+// bytes (with correct checksums over the headers) and Unmarshal parses
+// them back. The simulator itself works on decoded packets; the wire
+// format backs the pcap reader/writer and the trace tooling.
+
+// Header sizes in bytes.
+const (
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+)
+
+// Marshal errors.
+var (
+	ErrTooShort     = errors.New("packet: buffer too short")
+	ErrBadVersion   = errors.New("packet: not an IPv4 packet")
+	ErrBadLength    = errors.New("packet: inconsistent length fields")
+	ErrNotTransport = errors.New("packet: protocol carries no modeled transport header")
+)
+
+// WireLen returns the number of bytes Marshal will produce: the packet's
+// total IP length, but at least the space needed for its headers.
+func (p *Packet) WireLen() int {
+	n := int(p.Length)
+	if n < p.headerLen() {
+		n = p.headerLen()
+	}
+	return n
+}
+
+func (p *Packet) headerLen() int {
+	switch p.Protocol {
+	case ProtoTCP:
+		return ipv4HeaderLen + tcpHeaderLen
+	case ProtoUDP:
+		return ipv4HeaderLen + udpHeaderLen
+	default:
+		return ipv4HeaderLen
+	}
+}
+
+// Marshal renders the packet in IPv4 wire format. Payload bytes beyond
+// the headers are zero. The returned slice has length WireLen().
+func (p *Packet) Marshal() ([]byte, error) {
+	buf := make([]byte, p.WireLen())
+	if err := p.MarshalTo(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// MarshalTo renders the packet into buf, which must hold WireLen() bytes.
+func (p *Packet) MarshalTo(buf []byte) error {
+	n := p.WireLen()
+	if len(buf) < n {
+		return fmt.Errorf("%w: need %d bytes, have %d", ErrTooShort, n, len(buf))
+	}
+	if !p.SrcIP.Is4() || !p.DstIP.Is4() {
+		return fmt.Errorf("packet: source and destination must be IPv4 addresses")
+	}
+	b := buf[:n]
+	for i := range b {
+		b[i] = 0
+	}
+
+	// IPv4 header.
+	b[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(b[2:4], uint16(n))
+	binary.BigEndian.PutUint16(b[4:6], p.ID)
+	binary.BigEndian.PutUint16(b[6:8], p.FragOffset&0x1fff)
+	b[8] = p.TTL
+	b[9] = uint8(p.Protocol)
+	src := p.SrcIP.As4()
+	dst := p.DstIP.As4()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dst[:])
+	binary.BigEndian.PutUint16(b[10:12], checksum(b[:ipv4HeaderLen]))
+
+	// Transport header.
+	switch p.Protocol {
+	case ProtoTCP:
+		t := b[ipv4HeaderLen:]
+		binary.BigEndian.PutUint16(t[0:2], p.SrcPort)
+		binary.BigEndian.PutUint16(t[2:4], p.DstPort)
+		t[12] = 5 << 4 // data offset: 5 words
+		t[13] = p.Flags
+		binary.BigEndian.PutUint16(t[14:16], 65535) // window
+		binary.BigEndian.PutUint16(t[16:18], transportChecksum(src, dst, uint8(ProtoTCP), b[ipv4HeaderLen:]))
+	case ProtoUDP:
+		u := b[ipv4HeaderLen:]
+		binary.BigEndian.PutUint16(u[0:2], p.SrcPort)
+		binary.BigEndian.PutUint16(u[2:4], p.DstPort)
+		binary.BigEndian.PutUint16(u[4:6], uint16(n-ipv4HeaderLen))
+		binary.BigEndian.PutUint16(u[6:8], transportChecksum(src, dst, uint8(ProtoUDP), b[ipv4HeaderLen:]))
+	}
+	return nil
+}
+
+// Unmarshal parses an IPv4 packet from wire format. Simulation metadata
+// (Label, Vector, FlowID) is left at its zero value.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < ipv4HeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooShort, len(b))
+	}
+	if b[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(b) < ihl {
+		return nil, fmt.Errorf("%w: IHL %d", ErrBadLength, ihl)
+	}
+	total := binary.BigEndian.Uint16(b[2:4])
+	if int(total) > len(b) || int(total) < ihl {
+		return nil, fmt.Errorf("%w: total length %d of %d captured", ErrBadLength, total, len(b))
+	}
+	p := &Packet{
+		Length:     total,
+		ID:         binary.BigEndian.Uint16(b[4:6]),
+		FragOffset: binary.BigEndian.Uint16(b[6:8]) & 0x1fff,
+		TTL:        b[8],
+		Protocol:   Proto(b[9]),
+		SrcIP:      netip.AddrFrom4([4]byte(b[12:16])),
+		DstIP:      netip.AddrFrom4([4]byte(b[16:20])),
+	}
+	tr := b[ihl:total]
+	switch p.Protocol {
+	case ProtoTCP:
+		if len(tr) >= tcpHeaderLen {
+			p.SrcPort = binary.BigEndian.Uint16(tr[0:2])
+			p.DstPort = binary.BigEndian.Uint16(tr[2:4])
+			p.Flags = tr[13]
+		}
+	case ProtoUDP:
+		if len(tr) >= udpHeaderLen {
+			p.SrcPort = binary.BigEndian.Uint16(tr[0:2])
+			p.DstPort = binary.BigEndian.Uint16(tr[2:4])
+		}
+	}
+	return p, nil
+}
+
+// checksum computes the RFC 1071 Internet checksum of b, assuming the
+// checksum field within b is zero.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// transportChecksum computes the TCP/UDP checksum including the IPv4
+// pseudo-header. seg must have its checksum field zeroed.
+func transportChecksum(src, dst [4]byte, proto uint8, seg []byte) uint16 {
+	pseudo := make([]byte, 12, 12+len(seg)+1)
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(seg)))
+	pseudo = append(pseudo, seg...)
+	sum := checksum(pseudo)
+	if sum == 0 && proto == uint8(ProtoUDP) {
+		sum = 0xffff // UDP: zero checksum means "no checksum"
+	}
+	return sum
+}

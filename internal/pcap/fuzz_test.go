@@ -1,0 +1,38 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"accturbo/internal/packet"
+)
+
+// FuzzReader checks the pcap reader never panics on arbitrary input
+// and terminates (EOF or error) on every stream.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	p := &packet.Packet{
+		SrcIP: packet.V4(1, 2, 3, 4), DstIP: packet.V4(5, 6, 7, 8),
+		Length: 100, TTL: 9, Protocol: packet.ProtoUDP,
+	}
+	w.Write(0, p)
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10_000; i++ {
+			if _, _, err := r.Next(); err != nil {
+				if err != io.EOF {
+					return
+				}
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package pcap reads and writes libpcap capture files (the classic
+// 24-byte-global-header format, LINKTYPE_RAW) using only the standard
+// library. The trace tooling uses it to export synthetic workloads and
+// replay them, so generated traces are inspectable with tcpdump or
+// Wireshark.
+//
+// Virtual simulation timestamps map to the seconds/microseconds fields
+// directly: a packet at eventsim.Time t is stored with ts = t since the
+// epoch.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"accturbo/internal/eventsim"
+	"accturbo/internal/packet"
+)
+
+const (
+	magicMicros = 0xa1b2c3d4
+	// linktypeRaw means packets start directly at the IP header.
+	linktypeRaw = 101
+	snaplen     = 65535
+)
+
+// Errors returned by the reader.
+var (
+	ErrBadMagic = errors.New("pcap: bad magic number")
+)
+
+// Writer streams packets into a pcap file.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter writes the global header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // version major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // version minor
+	binary.LittleEndian.PutUint32(hdr[16:20], snaplen)
+	binary.LittleEndian.PutUint32(hdr[20:24], linktypeRaw)
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, fmt.Errorf("pcap: writing global header: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, fmt.Errorf("pcap: flushing global header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one packet with the given virtual timestamp.
+func (w *Writer) Write(at eventsim.Time, p *packet.Packet) error {
+	n := p.WireLen()
+	if cap(w.buf) < n+16 {
+		w.buf = make([]byte, n+16)
+	}
+	b := w.buf[:n+16]
+	sec := uint32(at / eventsim.Second)
+	usec := uint32((at % eventsim.Second) / eventsim.Microsecond)
+	binary.LittleEndian.PutUint32(b[0:4], sec)
+	binary.LittleEndian.PutUint32(b[4:8], usec)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(n))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(n))
+	if err := p.MarshalTo(b[16:]); err != nil {
+		return fmt.Errorf("pcap: marshaling packet: %w", err)
+	}
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("pcap: writing record: %w", err)
+	}
+	return nil
+}
+
+// Flush writes buffered records through to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader streams packets out of a pcap file.
+type Reader struct {
+	r       *bufio.Reader
+	swapped bool
+	buf     []byte
+}
+
+// NewReader parses the global header. Both byte orders are accepted;
+// only microsecond-resolution raw-IP captures are supported (which is
+// what Writer produces).
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	var swapped bool
+	switch binary.LittleEndian.Uint32(hdr[0:4]) {
+	case magicMicros:
+		swapped = false
+	default:
+		if binary.BigEndian.Uint32(hdr[0:4]) == magicMicros {
+			swapped = true
+		} else {
+			return nil, ErrBadMagic
+		}
+	}
+	return &Reader{r: br, swapped: swapped}, nil
+}
+
+func (r *Reader) u32(b []byte) uint32 {
+	if r.swapped {
+		return binary.BigEndian.Uint32(b)
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Next returns the next packet and its timestamp, or io.EOF at the end
+// of the capture.
+func (r *Reader) Next() (eventsim.Time, *packet.Packet, error) {
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r.r, hdr); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("pcap: reading record header: %w", err)
+	}
+	sec := r.u32(hdr[0:4])
+	usec := r.u32(hdr[4:8])
+	caplen := r.u32(hdr[8:12])
+	if caplen > snaplen {
+		return 0, nil, fmt.Errorf("pcap: capture length %d exceeds snaplen", caplen)
+	}
+	if cap(r.buf) < int(caplen) {
+		r.buf = make([]byte, caplen)
+	}
+	b := r.buf[:caplen]
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return 0, nil, fmt.Errorf("pcap: reading record body: %w", err)
+	}
+	p, err := packet.Unmarshal(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	at := eventsim.Time(sec)*eventsim.Second + eventsim.Time(usec)*eventsim.Microsecond
+	return at, p, nil
+}

@@ -1,0 +1,124 @@
+package queue
+
+import (
+	"container/heap"
+	"fmt"
+
+	"accturbo/internal/eventsim"
+	"accturbo/internal/packet"
+)
+
+// RankFunc assigns a scheduling rank to a packet at enqueue time; lower
+// ranks dequeue first. The paper's "PIFO Ideal" baseline ranks on
+// ground truth (benign before malicious); ACC-Turbo's deployable
+// schedulers rank on cluster statistics instead.
+type RankFunc func(now eventsim.Time, p *packet.Packet) int64
+
+// PIFO is an idealized push-in first-out queue: packets dequeue in rank
+// order, and when the buffer is full the worst-ranked resident packet
+// is pushed out to admit a better-ranked arrival. Ties preserve arrival
+// order.
+type PIFO struct {
+	capBytes int
+	bytes    int
+	rank     RankFunc
+	onDrop   []DropFunc
+	seq      uint64
+	h        pifoHeap
+}
+
+type pifoItem struct {
+	p    *packet.Packet
+	rank int64
+	seq  uint64
+}
+
+// pifoHeap is a min-heap on (rank, seq).
+type pifoHeap []pifoItem
+
+func (h pifoHeap) Len() int { return len(h) }
+func (h pifoHeap) Less(i, j int) bool {
+	if h[i].rank != h[j].rank {
+		return h[i].rank < h[j].rank
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pifoHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pifoHeap) Push(x any)   { *h = append(*h, x.(pifoItem)) }
+func (h *pifoHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h pifoHeap) worstIndex() int {
+	// The worst element of a min-heap is one of the leaves.
+	worst := len(h) / 2
+	for i := worst + 1; i < len(h); i++ {
+		if h.Less(worst, i) {
+			worst = i
+		}
+	}
+	return worst
+}
+
+// NewPIFO builds a PIFO with the given byte capacity and ranking
+// function.
+func NewPIFO(capacityBytes int, rank RankFunc) *PIFO {
+	if capacityBytes <= 0 {
+		panic(fmt.Sprintf("queue: PIFO capacity %d must be positive", capacityBytes))
+	}
+	if rank == nil {
+		panic("queue: nil rank function")
+	}
+	return &PIFO{capBytes: capacityBytes, rank: rank}
+}
+
+// OnDrop registers an additional callback for rejected or pushed-out
+// packets.
+func (q *PIFO) OnDrop(fn DropFunc) { q.onDrop = append(q.onDrop, fn) }
+
+// Enqueue implements Qdisc. When full, the worst-ranked packets are
+// evicted as long as the arrival ranks strictly better; otherwise the
+// arrival is dropped.
+func (q *PIFO) Enqueue(now eventsim.Time, p *packet.Packet) DropReason {
+	r := q.rank(now, p)
+	for q.bytes+p.Size() > q.capBytes {
+		if len(q.h) == 0 {
+			// Packet larger than the whole buffer.
+			q.notifyDrop(now, p, DropTail)
+			return DropTail
+		}
+		wi := q.h.worstIndex()
+		if q.h[wi].rank <= r {
+			// Arrival does not beat the current worst: tail-drop it.
+			q.notifyDrop(now, p, DropTail)
+			return DropTail
+		}
+		victim := q.h[wi]
+		heap.Remove(&q.h, wi)
+		q.bytes -= victim.p.Size()
+		q.notifyDrop(now, victim.p, DropPushOut)
+	}
+	heap.Push(&q.h, pifoItem{p: p, rank: r, seq: q.seq})
+	q.seq++
+	q.bytes += p.Size()
+	return DropNone
+}
+
+func (q *PIFO) notifyDrop(now eventsim.Time, p *packet.Packet, r DropReason) {
+	for _, fn := range q.onDrop {
+		fn(now, p, r)
+	}
+}
+
+// Dequeue implements Qdisc: the lowest-ranked packet leaves first.
+func (q *PIFO) Dequeue(now eventsim.Time) *packet.Packet {
+	if len(q.h) == 0 {
+		return nil
+	}
+	it := heap.Pop(&q.h).(pifoItem)
+	q.bytes -= it.p.Size()
+	return it.p
+}
+
+// Len implements Qdisc.
+func (q *PIFO) Len() int { return len(q.h) }
+
+// Bytes implements Qdisc.
+func (q *PIFO) Bytes() int { return q.bytes }

@@ -1,0 +1,188 @@
+// Package sketch provides the probabilistic data structures used by the
+// reproduced systems: a count-min sketch (Jaqen's heavy-hitter
+// detector) and a Bloom filter (ACC-Turbo's nominal-feature admission
+// lists and Jaqen's per-window key tracking).
+//
+// Hashing uses FNV-1a with per-row seeds, which is fast, allocation
+// free, and deterministic across runs.
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hash64 computes a seeded FNV-1a hash of an 8-byte value.
+func hash64(seed uint64, v uint64) uint64 {
+	h := uint64(fnvOffset64) ^ (seed * fnvPrime64)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// HashBytes computes a seeded FNV-1a hash over arbitrary bytes.
+func HashBytes(seed uint64, b []byte) uint64 {
+	h := uint64(fnvOffset64) ^ (seed * fnvPrime64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// CountMin is a count-min sketch over 64-bit keys: a rows × cols matrix
+// of counters where each update increments one counter per row and each
+// query returns the row minimum, an overestimate of the true count.
+type CountMin struct {
+	rows, cols int
+	counts     [][]uint64
+	// Updates counts Add calls since the last Reset.
+	Updates uint64
+}
+
+// NewCountMin builds a sketch with the given geometry.
+func NewCountMin(rows, cols int) *CountMin {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("sketch: invalid count-min geometry %dx%d", rows, cols))
+	}
+	cm := &CountMin{rows: rows, cols: cols, counts: make([][]uint64, rows)}
+	for i := range cm.counts {
+		cm.counts[i] = make([]uint64, cols)
+	}
+	return cm
+}
+
+// NewCountMinForError sizes a sketch for additive error epsilon (as a
+// fraction of the stream count) with failure probability delta, per
+// Cormode–Muthukrishnan: cols = ceil(e/epsilon), rows = ceil(ln 1/delta).
+func NewCountMinForError(epsilon, delta float64) *CountMin {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("sketch: invalid epsilon=%v delta=%v", epsilon, delta))
+	}
+	cols := int(math.Ceil(math.E / epsilon))
+	rows := int(math.Ceil(math.Log(1 / delta)))
+	return NewCountMin(rows, cols)
+}
+
+// Add increments key's count by delta and returns the new estimate.
+func (cm *CountMin) Add(key uint64, delta uint64) uint64 {
+	cm.Updates++
+	est := uint64(math.MaxUint64)
+	for r := 0; r < cm.rows; r++ {
+		c := hash64(uint64(r)+1, key) % uint64(cm.cols)
+		cm.counts[r][c] += delta
+		if cm.counts[r][c] < est {
+			est = cm.counts[r][c]
+		}
+	}
+	return est
+}
+
+// Estimate returns the (over-)estimated count of key.
+func (cm *CountMin) Estimate(key uint64) uint64 {
+	est := uint64(math.MaxUint64)
+	for r := 0; r < cm.rows; r++ {
+		c := hash64(uint64(r)+1, key) % uint64(cm.cols)
+		if cm.counts[r][c] < est {
+			est = cm.counts[r][c]
+		}
+	}
+	return est
+}
+
+// Reset zeroes all counters, modeling Jaqen's periodic sketch reset.
+func (cm *CountMin) Reset() {
+	for r := range cm.counts {
+		row := cm.counts[r]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	cm.Updates = 0
+}
+
+// Bloom is a fixed-size Bloom filter over 64-bit keys.
+type Bloom struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+	// Inserted counts Insert calls since the last Reset.
+	Inserted uint64
+}
+
+// NewBloom builds a filter with nbits bits and k hash functions.
+func NewBloom(nbits uint64, k int) *Bloom {
+	if nbits == 0 || k <= 0 {
+		panic(fmt.Sprintf("sketch: invalid bloom geometry bits=%d k=%d", nbits, k))
+	}
+	return &Bloom{
+		bits:   make([]uint64, (nbits+63)/64),
+		nbits:  nbits,
+		hashes: k,
+	}
+}
+
+// NewBloomForRate sizes a filter for n expected elements at target
+// false-positive rate fp.
+func NewBloomForRate(n int, fp float64) *Bloom {
+	if n <= 0 || fp <= 0 || fp >= 1 {
+		panic(fmt.Sprintf("sketch: invalid bloom sizing n=%d fp=%v", n, fp))
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(fp) / (math.Ln2 * math.Ln2)))
+	if m == 0 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return NewBloom(m, k)
+}
+
+// Insert adds key to the filter.
+func (b *Bloom) Insert(key uint64) {
+	b.Inserted++
+	for i := 0; i < b.hashes; i++ {
+		pos := hash64(uint64(i)+1, key) % b.nbits
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// Contains reports whether key may have been inserted (false positives
+// possible, false negatives impossible).
+func (b *Bloom) Contains(key uint64) bool {
+	for i := 0; i < b.hashes; i++ {
+		pos := hash64(uint64(i)+1, key) % b.nbits
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears the filter.
+func (b *Bloom) Reset() {
+	for i := range b.bits {
+		b.bits[i] = 0
+	}
+	b.Inserted = 0
+}
+
+// FillRatio returns the fraction of set bits, a saturation diagnostic.
+func (b *Bloom) FillRatio() float64 {
+	set := 0
+	for _, w := range b.bits {
+		for ; w != 0; w &= w - 1 {
+			set++
+		}
+	}
+	return float64(set) / float64(b.nbits)
+}

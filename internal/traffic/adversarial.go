@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"fmt"
+
+	"accturbo/internal/eventsim"
+	"accturbo/internal/packet"
+)
+
+// Adversarial workloads from §9 of the paper ("Evading ACC-Turbo" /
+// "Weaponizing ACC-Turbo"). The paper analyzes these qualitatively; the
+// generators here make the analysis quantitative.
+
+// EvasionLevel selects how many clustering features the attacker
+// randomizes to break packet-level similarity (§9.1).
+type EvasionLevel int
+
+// Evasion constructs a volumetric UDP flood that randomizes
+// progressively more header fields: level 0 is a plain single-tuple
+// flood; each level up randomizes one more of {source host bits,
+// source port, destination port, packet length, TTL, destination host
+// bits}. At the maximum level every clustering feature is noise, the
+// worst case the paper concedes defeats similarity-based inference.
+func Evasion(level EvasionLevel, start, end eventsim.Time, rateBits float64, seed int64) (Source, error) {
+	if level < 0 || level > 6 {
+		return nil, fmt.Errorf("traffic: evasion level %d out of [0,6]", level)
+	}
+	spec := FlowSpec{
+		SrcIP:    packet.V4Addr{45, 45, 45, 45},
+		DstIP:    packet.V4Addr{198, 18, 77, 1},
+		Protocol: packet.ProtoUDP,
+		SrcPort:  50_000,
+		DstPort:  80,
+		TTL:      60,
+		Size:     900,
+		Label:    packet.Malicious,
+		Vector:   fmt.Sprintf("evasion-%d", level),
+		FlowID:   AggAttack,
+	}
+	if level >= 1 {
+		spec.SrcHostBits = 32
+	}
+	if level >= 2 {
+		spec.RandomSrcPort = true
+	}
+	if level >= 3 {
+		spec.RandomDstPort = true
+	}
+	if level >= 4 {
+		spec.Size = 60
+		spec.SizeJitter = 1380
+	}
+	if level >= 5 {
+		spec.TTL = 16
+		spec.TTLJitter = 224
+	}
+	if level >= 6 {
+		spec.DstHostBits = 16 // the whole monitored /16
+	}
+	return NewCBR(start, end, rateBits, spec.Factory(seed)), nil
+}
+
+// SpreadAttack is the aggregate-level evasion of §9.1: n low-rate
+// attack aggregates, each a distinct well-formed flow targeting a
+// different region of the feature space, so that no single cluster
+// captures the whole attack. Total attack rate is rateBits split
+// evenly.
+func SpreadAttack(n int, start, end eventsim.Time, rateBits float64, seed int64) (Source, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("traffic: spread attack needs >= 1 aggregates, got %d", n)
+	}
+	per := rateBits / float64(n)
+	srcs := make([]Source, 0, n)
+	for i := 0; i < n; i++ {
+		// Spread destinations across the space; vary ports and sizes
+		// so the aggregates look unrelated.
+		spec := FlowSpec{
+			SrcIP:    packet.V4Addr{77, byte(13 * i), byte(29 * i), byte(7 + i)},
+			DstIP:    packet.V4Addr{198, 18, byte(int(256/n) * i), byte(1 + i)},
+			Protocol: packet.ProtoUDP,
+			SrcPort:  uint16(2000 + 997*i),
+			DstPort:  uint16(100 + 53*i),
+			TTL:      uint8(30 + 17*i%200),
+			Size:     uint16(200 + 150*(i%8)),
+			Label:    packet.Malicious,
+			Vector:   fmt.Sprintf("spread-%d", i),
+			FlowID:   AggAttack,
+		}
+		srcs = append(srcs, NewCBR(start, end, per, spec.Factory(seed+int64(i))))
+	}
+	return Merge(srcs...), nil
+}
+
+// SwappingAttack is the §9.2 weaponization: benign traffic is a
+// high-rate, highly similar aggregate (e.g. one production video
+// stream), while the attacker floods with fully randomized headers.
+// The goal is to trick the defense into deprioritizing the benign
+// aggregate. Returns benign and attack sources separately so the
+// caller can account them.
+func SwappingAttack(start, end eventsim.Time, benignBits, attackBits float64, seed int64) (benign, attack Source) {
+	stream := FlowSpec{
+		SrcIP:    packet.V4Addr{198, 51, 77, 10},
+		DstIP:    packet.V4Addr{198, 18, 10, 10},
+		Protocol: packet.ProtoUDP,
+		SrcPort:  8443,
+		DstPort:  43210,
+		TTL:      61,
+		Size:     1350,
+		Label:    packet.Benign,
+		FlowID:   1,
+	}
+	noise := FlowSpec{
+		SrcIP:         packet.V4Addr{0, 0, 0, 0},
+		DstIP:         packet.V4Addr{198, 18, 0, 0},
+		Protocol:      packet.ProtoUDP,
+		SrcHostBits:   32,
+		DstHostBits:   16,
+		RandomSrcPort: true,
+		RandomDstPort: true,
+		TTL:           1,
+		TTLJitter:     254,
+		Size:          60,
+		SizeJitter:    1380,
+		Label:         packet.Malicious,
+		Vector:        "swapping",
+		FlowID:        AggAttack,
+	}
+	return NewCBR(start, end, benignBits, stream.Factory(seed)),
+		NewCBR(start, end, attackBits, noise.Factory(seed+1))
+}
+
+// ImitationAttack is the §9.2 attack that replays the victim's own
+// traffic shape: attack packets are drawn from the same generator
+// distribution as the background (same ports, sizes, TTLs, address
+// pools) but at flood rate. Detection by similarity alone cannot
+// separate them; the paper points to rate-change tests as the remedy.
+func ImitationAttack(start, end eventsim.Time, rateBits float64, seed int64) Source {
+	bg := NewBackground(BackgroundConfig{
+		Rate:  rateBits,
+		Start: start,
+		End:   end,
+		Seed:  seed,
+	})
+	return Label(bg, packet.Malicious, "imitation")
+}

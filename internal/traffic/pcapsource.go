@@ -1,0 +1,52 @@
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"accturbo/internal/pcap"
+)
+
+// PcapSource adapts a pcap capture into a Source, so recorded or
+// previously exported traces replay through the simulator exactly like
+// synthetic workloads. Labels are not stored in pcap; a classifier may
+// be supplied to restore ground truth (e.g. by destination prefix), or
+// left nil to treat everything as benign.
+type PcapSource struct {
+	r        *pcap.Reader
+	classify func(tp *TimedPacket)
+	err      error
+}
+
+// NewPcapSource wraps an open pcap reader. classify, when non-nil, is
+// applied to every packet (set Label/Vector/FlowID there).
+func NewPcapSource(r *pcap.Reader, classify func(tp *TimedPacket)) *PcapSource {
+	if r == nil {
+		panic("traffic: nil pcap reader")
+	}
+	return &PcapSource{r: r, classify: classify}
+}
+
+// Next implements Source.
+func (s *PcapSource) Next() (TimedPacket, bool) {
+	if s.err != nil {
+		return TimedPacket{}, false
+	}
+	at, p, err := s.r.Next()
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.err = fmt.Errorf("traffic: reading pcap: %w", err)
+		}
+		return TimedPacket{}, false
+	}
+	tp := TimedPacket{At: at, Pkt: p}
+	if s.classify != nil {
+		s.classify(&tp)
+	}
+	return tp, true
+}
+
+// Err reports a non-EOF read error encountered during iteration, if
+// any.
+func (s *PcapSource) Err() error { return s.err }

@@ -1,0 +1,255 @@
+package traffic
+
+import (
+	"fmt"
+
+	"accturbo/internal/eventsim"
+	"accturbo/internal/packet"
+)
+
+// Scenario builders for the paper's experiments. Each returns a merged
+// Source plus enough metadata for the harness to attribute output
+// bandwidth to aggregates.
+
+// AggregateID tags the five aggregates of the ACC experiments: FlowID
+// 1-4 are the constant-bit-rate benign aggregates, 5 is the attack.
+const (
+	AggAttack uint32 = 5
+)
+
+// benignAggregate builds CBR aggregate i (1-4) of the Fig. 2/3
+// experiments: each aggregate owns a distinct destination /24 so both
+// ACC's prefix inference and ACC-Turbo's clustering can separate them.
+func benignAggregate(i uint32, start, end eventsim.Time, rateBits float64) Source {
+	spec := FlowSpec{
+		SrcIP:    packet.V4Addr{172, 16, byte(i), 0},
+		DstIP:    packet.V4Addr{10, byte(50 * i), byte(i), 0},
+		Protocol: packet.ProtoUDP,
+		SrcPort:  10_000 + uint16(i),
+		DstPort:  20_000 + uint16(i),
+		TTL:      64,
+		Size:     500,
+		Label:    packet.Benign,
+		FlowID:   i,
+		// A few hosts per aggregate; aggregates are separated by the
+		// second destination byte, mirroring the prefix-distinct
+		// aggregates of the original experiment.
+		DstHostBits: 4,
+	}
+	return NewCBR(start, end, rateBits, spec.Factory(int64(i)*7919))
+}
+
+// attackSpec is aggregate 5: a UDP flood against its own /24.
+func attackSpec() FlowSpec {
+	return FlowSpec{
+		SrcIP:       packet.V4Addr{192, 0, 2, 0},
+		DstIP:       packet.V4Addr{10, 250, 5, 0},
+		Protocol:    packet.ProtoUDP,
+		SrcPort:     123,
+		DstPort:     20_005,
+		TTL:         54,
+		Size:        500,
+		Label:       packet.Malicious,
+		Vector:      "ACC-attack",
+		FlowID:      AggAttack,
+		SrcHostBits: 8,
+		DstHostBits: 4,
+	}
+}
+
+// ACCOriginal reproduces the workload of Fig. 2 (the experiment from
+// the original ACC paper): four CBR aggregates at fairRate each, plus a
+// variable-rate attack that ramps up at 13 s, holds, and ramps down at
+// 25 s. linkRate is the bottleneck capacity in bits/second; the run
+// lasts 50 s.
+func ACCOriginal(linkRate float64) Source {
+	end := 50 * eventsim.Second
+	fair := linkRate * 0.23 // 4 x 0.23 ~ 92% load before the attack
+	srcs := []Source{
+		benignAggregate(1, 0, end, fair),
+		benignAggregate(2, 0, end, fair),
+		benignAggregate(3, 0, end, fair),
+		benignAggregate(4, 0, end, fair),
+	}
+	// Attack profile: silent, then ramp to 3x capacity by 19 s, hold
+	// to 25 s, decay to zero by 31 s.
+	profile := Profile(
+		RatePoint{At: 13 * eventsim.Second, Bits: 0},
+		RatePoint{At: 19 * eventsim.Second, Bits: 3 * linkRate},
+		RatePoint{At: 25 * eventsim.Second, Bits: 3 * linkRate},
+		RatePoint{At: 31 * eventsim.Second, Bits: 0},
+	)
+	attack := NewRated(13*eventsim.Second, 31*eventsim.Second, profile, attackSpec().Factory(101))
+	srcs = append(srcs, attack)
+	return Merge(srcs...)
+}
+
+// PulseWave reproduces the workload of Fig. 3: four benign CBR
+// aggregates transmitting at about the link capacity, plus a pulse-wave
+// attack of four pulses starting at 5, 15, 25, and 35 s. Each pulse
+// lasts pulseLen and bursts at pulseRate. When morphing is true, each
+// pulse uses a different attack vector (destination subnet and
+// signature), the §2.2 morphing scenario; otherwise all pulses share
+// aggregate 5's signature.
+func PulseWave(linkRate float64, pulseRate float64, pulseLen eventsim.Time, morphing bool) Source {
+	end := 50 * eventsim.Second
+	fair := linkRate * 0.24 // benign ~ link capacity in total
+	srcs := []Source{
+		benignAggregate(1, 0, end, fair),
+		benignAggregate(2, 0, end, fair),
+		benignAggregate(3, 0, end, fair),
+		benignAggregate(4, 0, end, fair),
+	}
+	starts := []eventsim.Time{5 * eventsim.Second, 15 * eventsim.Second, 25 * eventsim.Second, 35 * eventsim.Second}
+	vectors := []Vector{
+		{Name: "NTP-pulse", Class: Reflection, Spec: attackSpec()},
+		VectorsMust("DNS"),
+		VectorsMust("SSDP"),
+		SYNFlood(),
+	}
+	for i, at := range starts {
+		var pulse Source
+		if morphing {
+			v := vectors[i]
+			pulse = v.Flood(at, at+pulseLen, pulseRate, packet.V4Addr{10, 250, byte(5 + i), byte(i)}, 0, int64(211+i))
+			pulse = relabelFlow(pulse, AggAttack)
+		} else {
+			spec := attackSpec()
+			pulse = NewCBR(at, at+pulseLen, pulseRate, spec.Factory(int64(211+i)))
+		}
+		srcs = append(srcs, pulse)
+	}
+	return Merge(srcs...)
+}
+
+// VectorsMust returns the named vector, panicking on typos (scenario
+// construction only).
+func VectorsMust(name string) Vector {
+	v, err := VectorByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// relabelFlow forces the FlowID of every packet, so the harness can
+// attribute morphing pulses to the single "attack" aggregate of Fig. 3.
+func relabelFlow(s Source, id uint32) Source {
+	return &flowRelabel{s: s, id: id}
+}
+
+type flowRelabel struct {
+	s  Source
+	id uint32
+}
+
+func (f *flowRelabel) Next() (TimedPacket, bool) {
+	tp, ok := f.s.Next()
+	if !ok {
+		return TimedPacket{}, false
+	}
+	tp.Pkt.FlowID = f.id
+	return tp, true
+}
+
+// AttackVariation selects the Table 3 attack shapes.
+type AttackVariation uint8
+
+// Table 3 rows.
+const (
+	// NoAttack runs background traffic only.
+	NoAttack AttackVariation = iota
+	// SingleFlow is a UDP flood sharing one 5-tuple.
+	SingleFlow
+	// CarpetBombing spreads the flood over a /24 destination prefix.
+	CarpetBombing
+	// SourceSpoofing randomizes the source address (and port).
+	SourceSpoofing
+)
+
+// String names the variation as in Table 3.
+func (v AttackVariation) String() string {
+	switch v {
+	case NoAttack:
+		return "No Attack"
+	case SingleFlow:
+		return "Single Flow"
+	case CarpetBombing:
+		return "Carpet Bombing"
+	case SourceSpoofing:
+		return "Source Spoofing"
+	default:
+		return fmt.Sprintf("variation(%d)", uint8(v))
+	}
+}
+
+// Variation builds the §7.2 hardware-comparison workload: CAIDA-like
+// background at bgRate for the full window, with a UDP-flood attack of
+// the given shape at attackRate between attackStart and end.
+func Variation(v AttackVariation, bgRate, attackRate float64, attackStart, end eventsim.Time, seed int64) Source {
+	bg := NewBackground(BackgroundConfig{
+		Rate:  bgRate,
+		Start: 0,
+		End:   end,
+		Seed:  seed,
+	})
+	if v == NoAttack {
+		return bg
+	}
+	spec := FlowSpec{
+		SrcIP:    packet.V4Addr{10, 9, 8, 7},
+		DstIP:    packet.V4Addr{198, 18, 50, 1}, // inside the background's destination space
+		Protocol: packet.ProtoUDP,
+		SrcPort:  33333,
+		DstPort:  44444,
+		TTL:      60,
+		Size:     1000,
+		Label:    packet.Malicious,
+		Vector:   "UDP",
+		FlowID:   AggAttack,
+	}
+	switch v {
+	case CarpetBombing:
+		spec.DstHostBits = 8
+		spec.Vector = "UDP-carpet"
+	case SourceSpoofing:
+		spec.SrcHostBits = 32
+		spec.RandomSrcPort = true
+		spec.Vector = "UDP-spoofed"
+	}
+	attack := NewCBR(attackStart, end, attackRate, spec.Factory(seed+1))
+	return Merge(bg, attack)
+}
+
+// CICDDoSDay builds the §8 simulation workload: continuous CAIDA-like
+// background with the nine attack vectors firing one after another,
+// each active for vectorLen with a gap of vectorGap. Rates are in
+// bits/second. The returned vector list gives each attack's name and
+// its [start, end) window for per-vector evaluation.
+type AttackWindow struct {
+	Vector Vector
+	Start  eventsim.Time
+	End    eventsim.Time
+}
+
+// CICDDoSDay generates the compressed attack day.
+func CICDDoSDay(bgRate, attackRate float64, vectorLen, vectorGap eventsim.Time, seed int64) (Source, []AttackWindow) {
+	vectors := Vectors()
+	total := eventsim.Time(len(vectors))*(vectorLen+vectorGap) + vectorGap
+	bg := NewBackground(BackgroundConfig{
+		Rate:  bgRate,
+		Start: 0,
+		End:   total,
+		Seed:  seed,
+	})
+	srcs := []Source{bg}
+	windows := make([]AttackWindow, 0, len(vectors))
+	at := vectorGap
+	victim := packet.V4Addr{198, 18, 99, 1}
+	for i, v := range vectors {
+		srcs = append(srcs, v.Flood(at, at+vectorLen, attackRate, victim, 0, seed+int64(i)*31))
+		windows = append(windows, AttackWindow{Vector: v, Start: at, End: at + vectorLen})
+		at += vectorLen + vectorGap
+	}
+	return Merge(srcs...), windows
+}
