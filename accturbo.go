@@ -55,6 +55,31 @@ var (
 	HardwareFeatures = packet.HardwareFeatures
 )
 
+// Re-exported clustering knobs, so Config.Clustering can be tuned
+// without internal imports. The per-packet path compiles the chosen
+// distance to a kernel at construction time, so every combination runs
+// allocation free (see internal/cluster).
+type (
+	// ClusterDistance selects the distance metric (§4.2.3).
+	ClusterDistance = cluster.Distance
+	// ClusterSearch selects the closest-cluster search strategy.
+	ClusterSearch = cluster.Search
+)
+
+const (
+	// DistanceManhattan is the deployable range-based metric (Eq. 5).
+	DistanceManhattan = cluster.Manhattan
+	// DistanceAnime is the hypervolume metric of Def. 4.1.
+	DistanceAnime = cluster.Anime
+	// DistanceEuclidean is the center-based metric (Eq. 2).
+	DistanceEuclidean = cluster.Euclidean
+	// SearchFast is the linear closest-cluster scan the hardware uses.
+	SearchFast = cluster.Fast
+	// SearchExhaustive also weighs merging the two closest clusters,
+	// served by an incrementally maintained merge-cost matrix.
+	SearchExhaustive = cluster.Exhaustive
+)
+
 // V4 builds an IPv4 address from four octets.
 var V4 = packet.V4
 
@@ -133,7 +158,9 @@ func (d *Defense) NumQueues() int { return d.turbo.Config().NumQueues }
 type (
 	// Experiment is one reproducible paper experiment.
 	Experiment = experiments.Experiment
-	// ExperimentOptions tune experiment runs.
+	// ExperimentOptions tune experiment runs. Set Parallel to fan an
+	// experiment's independent sweep points out over a worker pool;
+	// results are byte-identical at any worker count for a fixed Seed.
 	ExperimentOptions = experiments.Options
 	// ExperimentResult holds the regenerated series and notes.
 	ExperimentResult = experiments.Result

@@ -185,10 +185,30 @@ func BenchmarkTable4(b *testing.B) {
 
 // BenchmarkDefenseProcess measures the standalone pipeline's per-packet
 // cost — the number that would gate a software deployment of the
-// public API.
+// public API. The flattened clusterer fast path keeps this path
+// allocation free; internal/cluster's BenchmarkObserve isolates the
+// clustering step across every distance/search configuration.
 func BenchmarkDefenseProcess(b *testing.B) {
 	cfg := DefaultConfig()
 	cfg.Clustering.SliceInit = true
+	d := NewDefense(cfg)
+	pkts := make([]*Packet, 256)
+	for i := range pkts {
+		pkts[i] = benignPacket(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Process(0, pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkDefenseProcessExhaustive is the same pipeline under
+// exhaustive search, where the incremental merge-cost cache (instead
+// of an O(|C|^2) rescan per packet) carries the load.
+func BenchmarkDefenseProcessExhaustive(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Clustering.Search = SearchExhaustive
 	d := NewDefense(cfg)
 	pkts := make([]*Packet, 256)
 	for i := range pkts {

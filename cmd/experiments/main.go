@@ -2,12 +2,17 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-csv] [-run id[,id...]]
+//	experiments [-quick] [-seed N] [-csv] [-run id[,id...]] [-parallel N]
 //
 // Without -run, every experiment runs in paper order. With -csv, each
 // result is emitted as CSV instead of an aligned table. -quick shrinks
 // durations for fast sanity runs; full runs regenerate the numbers
 // recorded in EXPERIMENTS.md.
+//
+// -parallel N (default GOMAXPROCS) runs experiments and their internal
+// sweep points on N workers. Output is printed strictly in paper order
+// and is byte-identical to a sequential (-parallel 1) run for the same
+// seed; only the stderr timing lines reflect the overlap.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,6 +34,7 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	outDir := flag.String("out", "", "also write one CSV per experiment into this directory")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiments and their sweep points (1 = sequential)")
 	flag.Parse()
 
 	if *outDir != "" {
@@ -58,10 +65,42 @@ func main() {
 		}
 	}
 
-	opt := experiments.Options{Quick: *quick, Seed: *seed}
-	for _, e := range selected {
-		start := time.Now()
-		res := e.Run(opt)
+	opt := experiments.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
+
+	// Run experiments concurrently (bounded by -parallel) but print
+	// strictly in selection order, so stdout is byte-identical to a
+	// sequential run. Each experiment also parallelizes its internal
+	// sweep via opt.Parallel; the Go scheduler multiplexes both levels
+	// onto the available cores.
+	type outcome struct {
+		res     *experiments.Result
+		elapsed time.Duration
+		done    chan struct{}
+	}
+	outcomes := make([]outcome, len(selected))
+	for i := range outcomes {
+		outcomes[i].done = make(chan struct{})
+	}
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	for i, e := range selected {
+		i, e := i, e
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			outcomes[i].res = e.Run(opt)
+			outcomes[i].elapsed = time.Since(start)
+			close(outcomes[i].done)
+		}()
+	}
+
+	for i, e := range selected {
+		<-outcomes[i].done
+		res := outcomes[i].res
 		if *csv {
 			fmt.Printf("# %s: %s\n", res.ID, res.Title)
 			for _, n := range res.Notes {
@@ -78,6 +117,6 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "%s finished in %.1fs\n", e.ID, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "%s finished in %.1fs\n", e.ID, outcomes[i].elapsed.Seconds())
 	}
 }

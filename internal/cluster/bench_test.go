@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"accturbo/internal/packet"
+)
+
+// benchCombos enumerates every valid distance x search x set-mode
+// configuration (Exhaustive+Bloom is rejected by Config.Validate).
+func benchCombos() []Config {
+	var out []Config
+	for _, d := range []Distance{Manhattan, Anime, Euclidean} {
+		for _, s := range []Search{Fast, Exhaustive} {
+			for _, bloom := range []bool{false, true} {
+				if s == Exhaustive && bloom {
+					continue
+				}
+				cfg := DefaultConfig(10, packet.DefaultSimulationFeatures())
+				cfg.Distance = d
+				cfg.Search = s
+				cfg.UseBloom = bloom
+				if d == Euclidean {
+					cfg.LearningRate = 0.3
+				}
+				out = append(out, cfg)
+			}
+		}
+	}
+	return out
+}
+
+func comboName(cfg Config) string {
+	mode := "exact"
+	if cfg.UseBloom {
+		mode = "bloom"
+	}
+	return fmt.Sprintf("%v/%v/%s", cfg.Distance, cfg.Search, mode)
+}
+
+// benchTrace builds a packet working set with adversarial feature
+// diversity (random IPs and ports), matching what a pulse-wave attack
+// feeds the clusterer.
+func benchTrace(n int, seed int64) []*packet.Packet {
+	r := rand.New(rand.NewSource(seed))
+	pkts := make([]*packet.Packet, n)
+	for i := range pkts {
+		p := randPkt(r)
+		p.SrcIP = packet.V4(byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)))
+		p.DstIP = packet.V4(byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)))
+		p.SrcPort = uint16(r.Intn(65536))
+		p.DstPort = uint16(r.Intn(65536))
+		pkts[i] = p
+	}
+	return pkts
+}
+
+// BenchmarkObserve measures the per-packet fast path for every valid
+// configuration. The warmup pass pushes every cluster and nominal set
+// into steady state before the timer starts, so allocs/op reflects the
+// hot path, not seeding.
+func BenchmarkObserve(b *testing.B) {
+	pkts := benchTrace(1024, 1)
+	for _, cfg := range benchCombos() {
+		b.Run(comboName(cfg), func(b *testing.B) {
+			o := NewOnline(cfg)
+			for _, p := range pkts {
+				o.Observe(p)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Observe(pkts[i%len(pkts)])
+			}
+		})
+	}
+}
+
+// BenchmarkObserveReference is the retained naive implementation on the
+// identical workload — the baseline the flattened fast path is measured
+// against (see EXPERIMENTS.md "Fast-path microbenchmarks").
+func BenchmarkObserveReference(b *testing.B) {
+	pkts := benchTrace(1024, 1)
+	for _, cfg := range benchCombos() {
+		b.Run(comboName(cfg), func(b *testing.B) {
+			o := NewReference(cfg)
+			for _, p := range pkts {
+				o.Observe(p)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Observe(pkts[i%len(pkts)])
+			}
+		})
+	}
+}
+
+// TestObserveFastPathZeroAlloc enforces the zero-allocation guarantee
+// on the steady-state Observe path for linear (Fast) search. Exhaustive
+// search legitimately allocates when it re-seeds a cluster after a
+// merge, so it is excluded.
+func TestObserveFastPathZeroAlloc(t *testing.T) {
+	pkts := benchTrace(1024, 1)
+	for _, cfg := range benchCombos() {
+		if cfg.Search != Fast {
+			continue
+		}
+		cfg := cfg
+		t.Run(comboName(cfg), func(t *testing.T) {
+			o := NewOnline(cfg)
+			for _, p := range pkts {
+				o.Observe(p)
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(2048, func() {
+				o.Observe(pkts[i%len(pkts)])
+				i++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state Observe allocates %.2f times per packet, want 0", allocs)
+			}
+		})
+	}
+}

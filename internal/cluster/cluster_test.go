@@ -519,47 +519,6 @@ func TestQuickPerfectClusteringHasPurityOne(t *testing.T) {
 	}
 }
 
-func BenchmarkObserveManhattanFast(b *testing.B) {
-	benchObserve(b, Manhattan, Fast)
-}
-
-func BenchmarkObserveManhattanExhaustive(b *testing.B) {
-	benchObserve(b, Manhattan, Exhaustive)
-}
-
-func BenchmarkObserveAnimeFast(b *testing.B) {
-	benchObserve(b, Anime, Fast)
-}
-
-func BenchmarkObserveEuclideanFast(b *testing.B) {
-	benchObserve(b, Euclidean, Fast)
-}
-
-func benchObserve(b *testing.B, d Distance, s Search) {
-	cfg := DefaultConfig(10, packet.DefaultSimulationFeatures())
-	cfg.Distance = d
-	cfg.Search = s
-	if d == Euclidean {
-		cfg.LearningRate = 0.3
-	}
-	o := NewOnline(cfg)
-	r := rand.New(rand.NewSource(1))
-	pkts := make([]*packet.Packet, 1024)
-	for i := range pkts {
-		p := randPkt(r)
-		p.SrcIP = packet.V4(byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)))
-		p.DstIP = packet.V4(byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)))
-		p.SrcPort = uint16(r.Intn(65536))
-		p.DstPort = uint16(r.Intn(65536))
-		pkts[i] = p
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		o.Observe(pkts[i%len(pkts)])
-	}
-}
-
 func TestNormalizeBalancesFeatureScales(t *testing.T) {
 	// Two clusters: one near in the 16-bit dimension but far in the
 	// 8-bit one, the other vice versa. Raw distances weigh the 16-bit

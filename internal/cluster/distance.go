@@ -1,38 +1,42 @@
 package cluster
 
-// Distance and cost computations for the three metrics of §4.2.3.
+// Distance and cost computations for the three metrics of §4.2.3,
+// compiled down to kernels selected once at construction: the
+// per-packet path never switches on the metric. For ranges, widths use
+// float64 to keep the Anime product within range (the paper notes the
+// exact product can need 157 bits; the simulator only compares
+// magnitudes, so float64 precision suffices).
 //
-// All three are expressed as "cost increase caused by a merge", so the
-// same online algorithm minimizes each. For ranges, widths use float64
-// to keep the Anime product within range (the paper notes the exact
-// product can need 157 bits; the simulator only compares magnitudes, so
-// float64 precision suffices).
+// Equivalence discipline: every kernel accumulates in the same feature
+// order and with the same expression shapes as the retained Reference
+// implementation, so both produce bit-identical float64 results and
+// therefore identical assignments (asserted by TestFastPathMatchesReference).
 
-// distance returns d(p, c): the cost increase of absorbing the packet
-// (given by its extracted feature values) into cluster c.
-func (o *Online) distance(vals []uint32, c *clusterState) float64 {
+// pointKernel returns d(p, c): the cost increase of absorbing the
+// packet (given by its extracted feature values) into cluster ci.
+// bound is the best distance found so far in the current scan; kernels
+// whose partial sums are monotone may return early with any value
+// >= bound once the cluster cannot win. Pass +inf for an exact result.
+type pointKernel func(o *Online, vals []uint32, ci int, bound float64) float64
+
+// mergeKernel returns d(ci, cj): the cost increase of merging the two
+// clusters (exhaustive search only). Kernels are symmetric in (i, j).
+type mergeKernel func(o *Online, i, j int) float64
+
+// selectKernels binds the configured distance to concrete kernels.
+func (o *Online) selectKernels() {
 	switch o.cfg.Distance {
 	case Manhattan:
-		return o.manhattanPoint(vals, c)
+		o.merge = manhattanMerge
+		if o.cfg.Normalize {
+			o.dist = manhattanPointScaled
+		} else {
+			o.dist = manhattanPointRaw
+		}
 	case Anime:
-		return o.animePoint(vals, c)
+		o.dist, o.merge = animePoint, animeMerge
 	case Euclidean:
-		return o.euclideanPoint(vals, c)
-	default:
-		panic("cluster: unknown distance")
-	}
-}
-
-// mergeCost returns d(ci, cj): the cost increase of merging the two
-// clusters (exhaustive search only).
-func (o *Online) mergeCost(a, b *clusterState) float64 {
-	switch o.cfg.Distance {
-	case Manhattan:
-		return o.manhattanMerge(a, b)
-	case Anime:
-		return o.animeMerge(a, b)
-	case Euclidean:
-		return o.euclideanMerge(a, b)
+		o.dist, o.merge = euclideanPoint, euclideanMerge
 	default:
 		panic("cluster: unknown distance")
 	}
@@ -40,12 +44,12 @@ func (o *Online) mergeCost(a, b *clusterState) float64 {
 
 // clusterCost returns delta(c), the cluster's size under the configured
 // cost function.
-func (o *Online) clusterCost(c *clusterState) float64 {
+func (o *Online) clusterCost(ci int) float64 {
 	switch o.cfg.Distance {
 	case Anime:
 		prod := 1.0
-		for i := range o.feats {
-			prod *= o.featWidth(c, i)
+		for i := 0; i < o.nf; i++ {
+			prod *= o.featWidth(ci, i)
 		}
 		return prod
 	case Euclidean:
@@ -54,8 +58,8 @@ func (o *Online) clusterCost(c *clusterState) float64 {
 		fallthrough
 	case Manhattan:
 		sum := 0.0
-		for i := range o.feats {
-			sum += o.featWidth(c, i) - 1
+		for i := 0; i < o.nf; i++ {
+			sum += o.featWidth(ci, i) - 1
 		}
 		return sum
 	default:
@@ -67,83 +71,118 @@ func (o *Online) clusterCost(c *clusterState) float64 {
 // ordinal features (so a point has width 1), set cardinality for
 // nominal ones. With Normalize set, ordinal widths are scaled into
 // (0, 1] so wide value spaces do not dominate.
-func (o *Online) featWidth(c *clusterState, i int) float64 {
+func (o *Online) featWidth(ci, i int) float64 {
 	if o.nominal[i] {
-		return float64(c.setCard[i])
+		return float64(o.clusters[ci].setCard[i])
 	}
-	return (float64(c.max[i]-c.min[i]) + 1) * o.scale[i]
+	base := ci * o.nf
+	return (float64(o.max[base+i]-o.min[base+i]) + 1) * o.scale[i]
 }
 
 // --- Manhattan (Eq. 5) ---
 
-func (o *Online) manhattanPoint(vals []uint32, c *clusterState) float64 {
+// manhattanPointRaw is the deployable fast path: unnormalized Manhattan
+// distance over the flattened ranges. All contributions are exact small
+// integers, so accumulation order cannot change the result and the
+// bound check is a pure early exit.
+func manhattanPointRaw(o *Online, vals []uint32, ci int, bound float64) float64 {
+	base := ci * o.nf
+	mn := o.min[base : base+len(vals)]
+	mx := o.max[base : base+len(vals)]
+	c := o.clusters[ci]
 	var d float64
 	for i, v := range vals {
 		if o.nominal[i] {
-			if !c.contains(o, i, v) {
+			if !nomContains(c, i, v) {
 				d++
 			}
-			continue
+		} else if v < mn[i] {
+			d += float64(mn[i] - v)
+		} else if v > mx[i] {
+			d += float64(v - mx[i])
 		}
-		switch {
-		case v < c.min[i]:
-			d += float64(c.min[i]-v) * o.scale[i]
-		case v > c.max[i]:
-			d += float64(v-c.max[i]) * o.scale[i]
+		if d >= bound {
+			return d
 		}
 	}
 	return d
 }
 
-func (o *Online) manhattanMerge(a, b *clusterState) float64 {
+// manhattanPointScaled is the Normalize variant; it keeps the exact
+// feature-order float accumulation of the reference implementation.
+func manhattanPointScaled(o *Online, vals []uint32, ci int, bound float64) float64 {
+	base := ci * o.nf
+	mn := o.min[base : base+len(vals)]
+	mx := o.max[base : base+len(vals)]
+	c := o.clusters[ci]
+	var d float64
+	for i, v := range vals {
+		if o.nominal[i] {
+			if !nomContains(c, i, v) {
+				d++
+			}
+		} else if v < mn[i] {
+			d += float64(mn[i]-v) * o.scale[i]
+		} else if v > mx[i] {
+			d += float64(v-mx[i]) * o.scale[i]
+		}
+		if d >= bound {
+			return d
+		}
+	}
+	return d
+}
+
+func manhattanMerge(o *Online, ai, bi int) float64 {
 	// Cost increase = width(union) - width(a) - width(b) per ordinal
 	// feature (negative when the ranges overlap); for nominal
 	// features, |union| - |a| - |b| (always <= 0), computable exactly
 	// in set mode.
+	a, b := o.clusters[ai], o.clusters[bi]
+	ab, bb := ai*o.nf, bi*o.nf
 	var d float64
-	for i := range a.min {
+	for i := 0; i < o.nf; i++ {
 		if o.nominal[i] {
-			union := a.setCard[i]
-			for v := range b.sets[i] {
-				if _, ok := a.sets[i][v]; !ok {
-					union++
-				}
-			}
+			union := a.setCard[i] + b.sets[i].unionExtra(&a.sets[i])
 			d += float64(union - a.setCard[i] - b.setCard[i])
 			continue
 		}
-		lo, hi := a.min[i], a.max[i]
-		if b.min[i] < lo {
-			lo = b.min[i]
+		lo, hi := o.min[ab+i], o.max[ab+i]
+		if o.min[bb+i] < lo {
+			lo = o.min[bb+i]
 		}
-		if b.max[i] > hi {
-			hi = b.max[i]
+		if o.max[bb+i] > hi {
+			hi = o.max[bb+i]
 		}
-		d += (float64(hi-lo) - float64(a.max[i]-a.min[i]) - float64(b.max[i]-b.min[i])) * o.scale[i]
+		d += (float64(hi-lo) - float64(o.max[ab+i]-o.min[ab+i]) - float64(o.max[bb+i]-o.min[bb+i])) * o.scale[i]
 	}
 	return d
 }
 
 // --- Anime (Eq. 1 / Def. 4.1) ---
 
-func (o *Online) animePoint(vals []uint32, c *clusterState) float64 {
+func animePoint(o *Online, vals []uint32, ci int, _ float64) float64 {
+	// No early exit: the cost is after-before, which is not monotone in
+	// the feature index.
+	base := ci * o.nf
+	c := o.clusters[ci]
 	before := 1.0
 	after := 1.0
 	for i, v := range vals {
-		w := o.featWidth(c, i)
+		w := o.featWidth(ci, i)
 		before *= w
 		if o.nominal[i] {
-			if !c.contains(o, i, v) {
+			if !nomContains(c, i, v) {
 				w++
 			}
 			after *= w
 			continue
 		}
 		switch {
-		case v < c.min[i]:
-			after *= (float64(c.max[i]-v) + 1) * o.scale[i]
-		case v > c.max[i]:
-			after *= (float64(v-c.min[i]) + 1) * o.scale[i]
+		case v < o.min[base+i]:
+			after *= (float64(o.max[base+i]-v) + 1) * o.scale[i]
+		case v > o.max[base+i]:
+			after *= (float64(v-o.min[base+i]) + 1) * o.scale[i]
 		default:
 			after *= w
 		}
@@ -151,27 +190,24 @@ func (o *Online) animePoint(vals []uint32, c *clusterState) float64 {
 	return after - before
 }
 
-func (o *Online) animeMerge(a, b *clusterState) float64 {
+func animeMerge(o *Online, ai, bi int) float64 {
+	a, b := o.clusters[ai], o.clusters[bi]
+	ab, bb := ai*o.nf, bi*o.nf
 	costA, costB, union := 1.0, 1.0, 1.0
-	for i := range a.min {
-		costA *= o.featWidth(a, i)
-		costB *= o.featWidth(b, i)
+	for i := 0; i < o.nf; i++ {
+		costA *= o.featWidth(ai, i)
+		costB *= o.featWidth(bi, i)
 		if o.nominal[i] {
-			card := a.setCard[i]
-			for v := range b.sets[i] {
-				if _, ok := a.sets[i][v]; !ok {
-					card++
-				}
-			}
+			card := a.setCard[i] + b.sets[i].unionExtra(&a.sets[i])
 			union *= float64(card)
 			continue
 		}
-		lo, hi := a.min[i], a.max[i]
-		if b.min[i] < lo {
-			lo = b.min[i]
+		lo, hi := o.min[ab+i], o.max[ab+i]
+		if o.min[bb+i] < lo {
+			lo = o.min[bb+i]
 		}
-		if b.max[i] > hi {
-			hi = b.max[i]
+		if o.max[bb+i] > hi {
+			hi = o.max[bb+i]
 		}
 		union *= (float64(hi-lo) + 1) * o.scale[i]
 	}
@@ -180,21 +216,28 @@ func (o *Online) animeMerge(a, b *clusterState) float64 {
 
 // --- Euclidean (Eq. 2) ---
 
-func (o *Online) euclideanPoint(vals []uint32, c *clusterState) float64 {
+func euclideanPoint(o *Online, vals []uint32, ci int, bound float64) float64 {
+	base := ci * o.nf
+	ctr := o.center[base : base+len(vals)]
 	var d float64
 	for i, v := range vals {
-		diff := (float64(v) - c.center[i]) * o.scale[i]
+		diff := (float64(v) - ctr[i]) * o.scale[i]
 		d += diff * diff
+		if d >= bound {
+			return d
+		}
 	}
 	return d
 }
 
-func (o *Online) euclideanMerge(a, b *clusterState) float64 {
+func euclideanMerge(o *Online, ai, bi int) float64 {
 	// Ward-style linkage: the increase in within-cluster squared error
 	// caused by merging two centroids.
+	a, b := o.clusters[ai], o.clusters[bi]
+	ab, bb := ai*o.nf, bi*o.nf
 	var d float64
-	for i := range a.center {
-		diff := (a.center[i] - b.center[i]) * o.scale[i]
+	for i := 0; i < o.nf; i++ {
+		diff := (o.center[ab+i] - o.center[bb+i]) * o.scale[i]
 		d += diff * diff
 	}
 	na, nb := float64(a.count), float64(b.count)

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"accturbo/internal/packet"
+)
+
+// equivTrace mixes recurring aggregates (so packets hit existing
+// clusters at distance 0) with fully random packets (so clusters grow,
+// merge, and spill nominal sets) — the cases where the fast path and
+// the naive reference could diverge.
+func equivTrace(n int, seed int64) []*packet.Packet {
+	r := rand.New(rand.NewSource(seed))
+	recurring := benchTrace(64, seed+1)
+	pkts := make([]*packet.Packet, n)
+	for i := range pkts {
+		if r.Intn(2) == 0 {
+			pkts[i] = recurring[r.Intn(len(recurring))]
+			continue
+		}
+		p := randPkt(r)
+		p.SrcIP = packet.V4(byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)))
+		p.DstIP = packet.V4(byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)))
+		p.SrcPort = uint16(r.Intn(65536))
+		p.DstPort = uint16(r.Intn(65536))
+		pkts[i] = p
+	}
+	return pkts
+}
+
+// TestFastPathMatchesReference drives the flattened fast path and the
+// retained naive implementation through an identical trace — including
+// mid-trace ResetStats, Reseed, and (for Euclidean) SeedCenters — and
+// requires bit-identical assignments and snapshots for every valid
+// configuration. The distance kernels deliberately preserve the
+// reference's float accumulation order, so exact equality is the
+// expected outcome, not a flaky approximation.
+func TestFastPathMatchesReference(t *testing.T) {
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"default", func(*Config) {}},
+		{"normalize", func(c *Config) { c.Normalize = true }},
+		{"sliceinit", func(c *Config) { c.SliceInit = true }},
+	}
+	pkts := equivTrace(3000, 7)
+	centers := make([][]float64, 4)
+	nf := len(packet.DefaultSimulationFeatures())
+	for j := range centers {
+		centers[j] = make([]float64, nf)
+		for f := range centers[j] {
+			centers[j][f] = float64((j*37 + f*11) % 256)
+		}
+	}
+	for _, base := range benchCombos() {
+		for _, v := range variants {
+			cfg := base
+			v.mutate(&cfg)
+			t.Run(comboName(cfg)+"/"+v.name, func(t *testing.T) {
+				fast := NewOnline(cfg)
+				ref := NewReference(cfg)
+				for i, p := range pkts {
+					fa, ra := fast.Observe(p), ref.Observe(p)
+					if fa != ra {
+						t.Fatalf("packet %d: fast=%+v ref=%+v", i, fa, ra)
+					}
+					switch i {
+					case 1000:
+						fast.ResetStats()
+						ref.ResetStats()
+					case 2000:
+						fast.Reseed()
+						ref.Reseed()
+					case 2500:
+						if cfg.Distance == Euclidean {
+							fast.SeedCenters(centers)
+							ref.SeedCenters(centers)
+						}
+					}
+				}
+				if fast.NumClusters() != ref.NumClusters() {
+					t.Fatalf("cluster counts diverge: fast=%d ref=%d", fast.NumClusters(), ref.NumClusters())
+				}
+				fs, rs := fast.Snapshot(), ref.Snapshot()
+				if !reflect.DeepEqual(fs, rs) {
+					for i := range fs {
+						if !reflect.DeepEqual(fs[i], rs[i]) {
+							t.Errorf("cluster %d: fast=%+v ref=%+v", i, fs[i], rs[i])
+						}
+					}
+					t.Fatal("snapshots diverge")
+				}
+			})
+		}
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
 	"accturbo/internal/packet"
 	"accturbo/internal/sketch"
@@ -11,29 +12,69 @@ import (
 // |C| clusters and assigns every packet to exactly one of them,
 // extending that cluster's ranges/sets when the packet falls outside.
 //
+// The per-packet path is built for line rate, mirroring the constraints
+// that drove the paper's hardware design (§4):
+//
+//   - Cluster ranges live in two contiguous structure-of-arrays slices
+//     (min/max, indexed cluster*numFeats+feature) instead of
+//     per-cluster allocations, so a closest-cluster scan walks flat
+//     memory. Euclidean centers are flattened the same way.
+//   - The distance function is selected once at construction (a kernel
+//     function value), not switched on per packet.
+//   - Nominal value sets are sorted small slices with an exact-bitmap
+//     spill (see nominalSet), not Go maps.
+//   - Exhaustive search keeps a pairwise merge-cost matrix that is
+//     invalidated only for clusters whose geometry changed, instead of
+//     recomputing all |C|^2 pairs on every packet.
+//
+// The steady-state Observe path performs no allocations. Reference in
+// reference.go retains the naive implementation; equivalence tests
+// assert both produce identical assignments.
+//
 // Online is not safe for concurrent use; the simulator is
 // single-threaded by design.
 type Online struct {
-	cfg      Config
-	feats    packet.FeatureSet
-	nominal  []bool    // per feature position
-	scale    []float64 // per-feature distance scaling (1 when !Normalize)
+	cfg     Config
+	feats   packet.FeatureSet
+	nf      int       // len(feats)
+	nominal []bool    // per feature position
+	scale   []float64 // per-feature distance scaling (1 when !Normalize)
+
+	// Flattened cluster geometry: cluster c covers feature f in
+	// [min[c*nf+f], max[c*nf+f]]. center is the Euclidean
+	// representation, laid out the same way (nil otherwise). Slots are
+	// preallocated for `stride` clusters so steady state never grows.
+	min, max []uint32
+	center   []float64
+	stride   int // cluster slot capacity (>= cfg.MaxClusters)
+
 	clusters []*clusterState
-	valbuf   []uint32 // scratch: feature values of the current packet
-	nextUID  uint64
+
+	dist  pointKernel
+	merge mergeKernel
+
+	// Exhaustive-search cache: pairCost[i*stride+j] is the merge cost
+	// of clusters i and j; rowDirty[i] marks clusters whose geometry
+	// (or, for Euclidean, weight) changed since row i was computed.
+	// Both are nil under fast search.
+	pairCost []float64
+	rowDirty []bool
+
+	valbuf  []uint32 // scratch: feature values of the current packet
+	nextUID uint64
 	// Observed counts packets seen since construction.
 	Observed uint64
 }
 
+// clusterState holds the per-cluster state that is not part of the
+// flattened geometry: nominal value sets and traffic statistics.
 type clusterState struct {
-	uid      uint64
-	min, max []uint32              // ordinal positions
-	sets     []map[uint32]struct{} // nominal positions (exact mode)
-	blooms   []*sketch.Bloom       // nominal positions (bloom mode)
-	setCard  []int                 // admitted-value count per nominal position
+	uid     uint64
+	sets    []nominalSet    // nominal positions (exact mode)
+	blooms  []*sketch.Bloom // nominal positions (bloom mode)
+	setCard []int           // admitted-value count per nominal position
 
-	center []float64 // Euclidean representation
-	count  uint64    // packets since seed (for center merging)
+	count uint64 // packets since seed (for center merging)
 
 	packets, bytes    uint64 // since last ResetStats
 	totalPackets      uint64
@@ -47,13 +88,15 @@ func NewOnline(cfg Config) *Online {
 		panic(err)
 	}
 	cfg = cfg.withDefaults()
+	nf := len(cfg.Features)
 	o := &Online{
 		cfg:     cfg,
 		feats:   cfg.Features,
-		nominal: make([]bool, len(cfg.Features)),
-		valbuf:  make([]uint32, len(cfg.Features)),
+		nf:      nf,
+		nominal: make([]bool, nf),
+		valbuf:  make([]uint32, nf),
 	}
-	o.scale = make([]float64, len(cfg.Features))
+	o.scale = make([]float64, nf)
 	for i, f := range cfg.Features {
 		o.nominal[i] = f.Nominal()
 		o.scale[i] = 1
@@ -61,10 +104,48 @@ func NewOnline(cfg Config) *Online {
 			o.scale[i] = 1 / (float64(f.MaxValue()) + 1)
 		}
 	}
+	o.grow(cfg.MaxClusters)
+	o.selectKernels()
 	if cfg.SliceInit {
 		o.sliceInit()
 	}
 	return o
+}
+
+// grow (re)allocates the flattened geometry for at least `slots`
+// cluster slots. Existing geometry is preserved row by row.
+func (o *Online) grow(slots int) {
+	if slots <= o.stride {
+		return
+	}
+	min := make([]uint32, slots*o.nf)
+	max := make([]uint32, slots*o.nf)
+	copy(min, o.min)
+	copy(max, o.max)
+	o.min, o.max = min, max
+	if o.cfg.Distance == Euclidean {
+		center := make([]float64, slots*o.nf)
+		copy(center, o.center)
+		o.center = center
+	}
+	if o.cfg.Search == Exhaustive {
+		cost := make([]float64, slots*slots)
+		for i := 0; i < o.stride; i++ {
+			copy(cost[i*slots:i*slots+o.stride], o.pairCost[i*o.stride:(i+1)*o.stride])
+		}
+		o.pairCost = cost
+		dirty := make([]bool, slots)
+		copy(dirty, o.rowDirty)
+		o.rowDirty = dirty
+	}
+	o.stride = slots
+}
+
+// markDirty flags cluster ci's merge-cost row for recomputation.
+func (o *Online) markDirty(ci int) {
+	if o.rowDirty != nil {
+		o.rowDirty[ci] = true
+	}
 }
 
 // sliceInit pre-creates MaxClusters clusters that partition the value
@@ -83,19 +164,18 @@ func (o *Online) sliceInit() {
 		}
 	}
 	for i := 0; i < k; i++ {
-		vals := make([]uint32, len(o.feats))
-		c := o.newCluster(vals)
-		c.count = 0
+		o.nextUID++
+		c := o.blankState()
+		c.uid = o.nextUID
+		base := i * o.nf
 		for f, feat := range o.feats {
 			if o.nominal[f] {
-				// Drop the seeded zero value: slices carry no nominal
-				// admissions until traffic arrives.
-				if o.cfg.UseBloom {
-					c.blooms[f].Reset()
-				} else {
-					delete(c.sets[f], 0)
+				// Slices carry no nominal admissions until traffic
+				// arrives.
+				o.min[base+f], o.max[base+f] = 0, 0
+				if o.center != nil {
+					o.center[base+f] = 0
 				}
-				c.setCard[f] = 0
 				continue
 			}
 			max := uint64(feat.MaxValue()) + 1
@@ -104,13 +184,36 @@ func (o *Online) sliceInit() {
 				lo = uint32(max * uint64(i) / uint64(k))
 				hi = uint32(max*uint64(i+1)/uint64(k) - 1)
 			}
-			c.min[f], c.max[f] = lo, hi
-			if c.center != nil {
-				c.center[f] = (float64(lo) + float64(hi)) / 2
+			o.min[base+f], o.max[base+f] = lo, hi
+			if o.center != nil {
+				o.center[base+f] = (float64(lo) + float64(hi)) / 2
 			}
 		}
+		c.count = 0
 		o.clusters = append(o.clusters, c)
+		o.markDirty(i)
 	}
+}
+
+// blankState allocates a clusterState with empty nominal sets.
+func (o *Online) blankState() *clusterState {
+	c := &clusterState{setCard: make([]int, o.nf)}
+	if o.cfg.UseBloom {
+		c.blooms = make([]*sketch.Bloom, o.nf)
+	} else {
+		c.sets = make([]nominalSet, o.nf)
+	}
+	for i, f := range o.feats {
+		if !o.nominal[i] {
+			continue
+		}
+		if o.cfg.UseBloom {
+			c.blooms[i] = sketch.NewBloom(o.cfg.BloomBits, o.cfg.BloomHashes)
+		} else {
+			c.sets[i].init(f.MaxValue() + 1)
+		}
+	}
+	return c
 }
 
 // Config returns the clusterer's configuration.
@@ -119,124 +222,132 @@ func (o *Online) Config() Config { return o.cfg }
 // NumClusters returns the number of seeded clusters.
 func (o *Online) NumClusters() int { return len(o.clusters) }
 
-func (o *Online) newCluster(vals []uint32) *clusterState {
+// newClusterAt seeds a cluster at slot with the given feature values,
+// writing its geometry into the flattened arrays.
+func (o *Online) newClusterAt(slot int, vals []uint32) *clusterState {
 	o.nextUID++
-	n := len(o.feats)
-	c := &clusterState{
-		uid:     o.nextUID,
-		min:     make([]uint32, n),
-		max:     make([]uint32, n),
-		setCard: make([]int, n),
-	}
-	if o.cfg.UseBloom {
-		c.blooms = make([]*sketch.Bloom, n)
-	} else {
-		c.sets = make([]map[uint32]struct{}, n)
-	}
-	if o.cfg.Distance == Euclidean {
-		c.center = make([]float64, n)
-	}
+	c := o.blankState()
+	c.uid = o.nextUID
+	base := slot * o.nf
 	for i, v := range vals {
-		c.min[i], c.max[i] = v, v
+		o.min[base+i], o.max[base+i] = v, v
 		if o.nominal[i] {
 			if o.cfg.UseBloom {
-				c.blooms[i] = sketch.NewBloom(o.cfg.BloomBits, o.cfg.BloomHashes)
 				c.blooms[i].Insert(uint64(v))
 			} else {
-				c.sets[i] = map[uint32]struct{}{v: {}}
+				c.sets[i].insert(v)
 			}
 			c.setCard[i] = 1
 		}
-		if c.center != nil {
-			c.center[i] = float64(v)
+		if o.center != nil {
+			o.center[base+i] = float64(v)
 		}
 	}
 	c.count = 1
+	o.markDirty(slot)
 	return c
 }
 
-// contains reports whether the cluster admits value v at position i.
-func (c *clusterState) contains(o *Online, i int, v uint32) bool {
-	if o.nominal[i] {
-		if o.cfg.UseBloom {
-			return c.blooms[i].Contains(uint64(v))
-		}
-		_, ok := c.sets[i][v]
-		return ok
+// admits reports whether cluster ci admits value v at feature f.
+func (o *Online) admits(c *clusterState, ci, f int, v uint32) bool {
+	if o.nominal[f] {
+		return nomContains(c, f, v)
 	}
-	return v >= c.min[i] && v <= c.max[i]
+	base := ci * o.nf
+	return v >= o.min[base+f] && v <= o.max[base+f]
 }
 
-// absorb extends the cluster to cover vals.
-func (c *clusterState) absorb(o *Online, vals []uint32) {
+// nomContains reports whether the cluster's nominal set at feature f
+// admits v.
+func nomContains(c *clusterState, f int, v uint32) bool {
+	if c.blooms != nil {
+		return c.blooms[f].Contains(uint64(v))
+	}
+	return c.sets[f].contains(v)
+}
+
+// absorb extends cluster ci to cover vals.
+func (o *Online) absorb(ci int, vals []uint32) {
+	c := o.clusters[ci]
+	base := ci * o.nf
 	for i, v := range vals {
 		if o.nominal[i] {
-			if !c.contains(o, i, v) {
-				if o.cfg.UseBloom {
+			if o.cfg.UseBloom {
+				if !c.blooms[i].Contains(uint64(v)) {
 					c.blooms[i].Insert(uint64(v))
-				} else {
-					c.sets[i][v] = struct{}{}
+					c.setCard[i]++
 				}
+			} else if c.sets[i].insert(v) {
 				c.setCard[i]++
 			}
 			continue
 		}
-		if v < c.min[i] {
-			c.min[i] = v
+		if v < o.min[base+i] {
+			o.min[base+i] = v
 		}
-		if v > c.max[i] {
-			c.max[i] = v
+		if v > o.max[base+i] {
+			o.max[base+i] = v
 		}
 	}
-	if c.center != nil {
+	if o.center != nil {
 		lr := o.cfg.LearningRate
+		ctr := o.center[base : base+o.nf]
 		for i, v := range vals {
-			c.center[i] += lr * (float64(v) - c.center[i])
+			ctr[i] += lr * (float64(v) - ctr[i])
 		}
 	}
+	o.markDirty(ci)
 }
 
-// mergeFrom absorbs the whole of src into c (exhaustive search).
-func (c *clusterState) mergeFrom(o *Online, src *clusterState) {
-	for i := range c.min {
+// mergeClusters absorbs the whole of cluster si into cluster di
+// (exhaustive search).
+func (o *Online) mergeClusters(di, si int) {
+	d, s := o.clusters[di], o.clusters[si]
+	db, sb := di*o.nf, si*o.nf
+	for i := 0; i < o.nf; i++ {
 		if o.nominal[i] {
 			if o.cfg.UseBloom {
-				// Bloom filters cannot be unioned bit-exactly here
-				// because geometries match: OR the words via reinsert
-				// is impossible, so approximate by inserting nothing
-				// and keeping the larger filter. Exact mode is the
-				// simulation default; exhaustive+bloom is rejected at
-				// construction time by Observe instead.
+				// Bloom filters cannot be unioned value-exactly here;
+				// exact mode is the simulation default, and
+				// exhaustive+bloom is rejected by Config.Validate.
 				panic("cluster: exhaustive search with Bloom sets is not supported")
 			}
-			for v := range src.sets[i] {
-				if _, ok := c.sets[i][v]; !ok {
-					c.sets[i][v] = struct{}{}
-					c.setCard[i]++
+			added := 0
+			s.sets[i].each(func(v uint32) {
+				if d.sets[i].insert(v) {
+					added++
 				}
-			}
+			})
+			d.setCard[i] += added
 			continue
 		}
-		if src.min[i] < c.min[i] {
-			c.min[i] = src.min[i]
+		if o.min[sb+i] < o.min[db+i] {
+			o.min[db+i] = o.min[sb+i]
 		}
-		if src.max[i] > c.max[i] {
-			c.max[i] = src.max[i]
-		}
-	}
-	if c.center != nil {
-		// Weighted centroid of the two clusters.
-		tot := float64(c.count + src.count)
-		for i := range c.center {
-			c.center[i] = (c.center[i]*float64(c.count) + src.center[i]*float64(src.count)) / tot
+		if o.max[sb+i] > o.max[db+i] {
+			o.max[db+i] = o.max[sb+i]
 		}
 	}
-	c.count += src.count
-	c.packets += src.packets
-	c.bytes += src.bytes
-	c.totalPackets += src.totalPackets
-	c.benign += src.benign
-	c.malicious += src.malicious
+	if o.center != nil {
+		// Weighted centroid of the two clusters. Two empty clusters
+		// (count 0, e.g. untouched slice-init tiles) take the plain
+		// midpoint — the weighted form would divide by zero.
+		tot := float64(d.count + s.count)
+		for i := 0; i < o.nf; i++ {
+			if tot == 0 {
+				o.center[db+i] = (o.center[db+i] + o.center[sb+i]) / 2
+			} else {
+				o.center[db+i] = (o.center[db+i]*float64(d.count) + o.center[sb+i]*float64(s.count)) / tot
+			}
+		}
+	}
+	d.count += s.count
+	d.packets += s.packets
+	d.bytes += s.bytes
+	d.totalPackets += s.totalPackets
+	d.benign += s.benign
+	d.malicious += s.malicious
+	o.markDirty(di)
 }
 
 // account records a packet's traffic statistics against the cluster.
@@ -264,13 +375,17 @@ func (o *Online) Observe(p *packet.Packet) Assignment {
 	if len(o.clusters) < o.cfg.MaxClusters {
 		if id, d := o.closest(vals); id >= 0 && d == 0 {
 			o.clusters[id].account(p)
+			// Euclidean merge costs depend on cluster weights, which
+			// account just changed.
+			o.markDirty(id)
 			return Assignment{Cluster: id, UID: o.clusters[id].uid, Distance: 0}
 		}
-		c := o.newCluster(vals)
+		slot := len(o.clusters)
+		c := o.newClusterAt(slot, vals)
 		c.account(p)
 		c.count-- // account() bumped it; seed already counted once
 		o.clusters = append(o.clusters, c)
-		return Assignment{Cluster: len(o.clusters) - 1, UID: c.uid, Created: true}
+		return Assignment{Cluster: slot, UID: c.uid, Created: true}
 	}
 
 	id, d := o.closest(vals)
@@ -282,8 +397,8 @@ func (o *Online) Observe(p *packet.Packet) Assignment {
 		// absorbing p into its nearest cluster.
 		mi, mj, md := o.closestPair()
 		if mi >= 0 && md < d {
-			o.clusters[mi].mergeFrom(o, o.clusters[mj])
-			c := o.newCluster(vals)
+			o.mergeClusters(mi, mj)
+			c := o.newClusterAt(mj, vals)
 			c.account(p)
 			c.count--
 			o.clusters[mj] = c
@@ -292,9 +407,9 @@ func (o *Online) Observe(p *packet.Packet) Assignment {
 	}
 
 	c := o.clusters[id]
-	if d > 0 || c.center != nil {
+	if d > 0 || o.center != nil {
 		// Center representations update even for covered packets.
-		c.absorb(o, vals)
+		o.absorb(id, vals)
 	}
 	c.account(p)
 	return Assignment{Cluster: id, UID: c.uid, Distance: d}
@@ -303,24 +418,52 @@ func (o *Online) Observe(p *packet.Packet) Assignment {
 // closest returns the index and distance of the cluster nearest to
 // vals, or (-1, +inf) when no clusters exist. Ties break toward the
 // lowest index, matching the hardware's deterministic comparison tree.
+// The running best distance is passed to the kernel as a bound so
+// monotone metrics can bail out of losing clusters early.
 func (o *Online) closest(vals []uint32) (int, float64) {
-	best, bestD := -1, 0.0
-	for i, c := range o.clusters {
-		d := o.distance(vals, c)
-		if best < 0 || d < bestD {
+	best, bestD := -1, math.Inf(1)
+	for i := range o.clusters {
+		d := o.dist(o, vals, i, bestD)
+		if d < bestD {
 			best, bestD = i, d
 		}
 	}
 	return best, bestD
 }
 
-// closestPair returns the pair of clusters with the lowest merge cost.
+// closestPair returns the pair of clusters with the lowest merge cost,
+// refreshing only the cached rows whose clusters changed since the last
+// call.
 func (o *Online) closestPair() (int, int, float64) {
+	k := len(o.clusters)
+	for i := 0; i < k; i++ {
+		if !o.rowDirty[i] {
+			continue
+		}
+		row := o.pairCost[i*o.stride:]
+		for j := 0; j < k; j++ {
+			if j == i {
+				continue
+			}
+			// Always evaluate with the lower index first: merge kernels
+			// are semantically symmetric but not bit-symmetric (float
+			// subtraction order), and the matrix must stay canonical.
+			var c float64
+			if i < j {
+				c = o.merge(o, i, j)
+			} else {
+				c = o.merge(o, j, i)
+			}
+			row[j] = c
+			o.pairCost[j*o.stride+i] = c
+		}
+		o.rowDirty[i] = false
+	}
 	bi, bj, bd := -1, -1, 0.0
-	for i := 0; i < len(o.clusters); i++ {
-		for j := i + 1; j < len(o.clusters); j++ {
-			d := o.mergeCost(o.clusters[i], o.clusters[j])
-			if bi < 0 || d < bd {
+	for i := 0; i < k; i++ {
+		row := o.pairCost[i*o.stride:]
+		for j := i + 1; j < k; j++ {
+			if d := row[j]; bi < 0 || d < bd {
 				bi, bj, bd = i, j, d
 			}
 		}
@@ -336,20 +479,21 @@ func (o *Online) Snapshot() []Info {
 		info := Info{
 			ID:                 i,
 			Active:             true,
-			Ranges:             make([]Range, len(o.feats)),
-			NominalCardinality: make([]int, len(o.feats)),
+			Ranges:             make([]Range, o.nf),
+			NominalCardinality: make([]int, o.nf),
 			Packets:            c.packets,
 			Bytes:              c.bytes,
 			TotalPackets:       c.totalPackets,
 			Benign:             c.benign,
 			Malicious:          c.malicious,
-			Size:               o.clusterCost(c),
+			Size:               o.clusterCost(i),
 		}
+		base := i * o.nf
 		for f := range o.feats {
 			if o.nominal[f] {
 				info.NominalCardinality[f] = c.setCard[f]
 			} else {
-				info.Ranges[f] = Range{Min: c.min[f], Max: c.max[f]}
+				info.Ranges[f] = Range{Min: o.min[base+f], Max: o.max[base+f]}
 			}
 		}
 		out[i] = info
@@ -371,6 +515,11 @@ func (o *Online) ResetStats() {
 // pulses).
 func (o *Online) Reseed() {
 	o.clusters = o.clusters[:0]
+	if o.rowDirty != nil {
+		for i := range o.rowDirty {
+			o.rowDirty[i] = true
+		}
+	}
 	if o.cfg.SliceInit {
 		o.sliceInit()
 	}
@@ -383,20 +532,20 @@ func (o *Online) SeedCenters(centers [][]float64) {
 	if o.cfg.Distance != Euclidean {
 		panic(fmt.Sprintf("cluster: SeedCenters on %v clusterer", o.cfg.Distance))
 	}
+	o.grow(len(centers))
 	o.clusters = o.clusters[:0]
-	for _, ctr := range centers {
-		if len(ctr) != len(o.feats) {
-			panic(fmt.Sprintf("cluster: center has %d dims, want %d", len(ctr), len(o.feats)))
+	for ci, ctr := range centers {
+		if len(ctr) != o.nf {
+			panic(fmt.Sprintf("cluster: center has %d dims, want %d", len(ctr), o.nf))
 		}
-		vals := make([]uint32, len(ctr))
 		for i, v := range ctr {
 			if v < 0 {
 				v = 0
 			}
-			vals[i] = uint32(v)
+			o.valbuf[i] = uint32(v)
 		}
-		c := o.newCluster(vals)
-		copy(c.center, ctr)
+		c := o.newClusterAt(ci, o.valbuf)
+		copy(o.center[ci*o.nf:(ci+1)*o.nf], ctr)
 		c.count = 0
 		o.clusters = append(o.clusters, c)
 	}

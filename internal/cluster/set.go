@@ -1,0 +1,130 @@
+package cluster
+
+import "math/bits"
+
+// nominalSet is the admitted-value set of one nominal feature in one
+// cluster, tuned for the per-packet fast path. Real aggregates admit a
+// handful of values (a few ports, one protocol), so the set starts as a
+// small sorted slice probed by branch-free binary search — contiguous,
+// cache-resident, and allocation-free to query. Adversarial traffic
+// (randomized ports) can grow the set without bound; past
+// smallSetMax values the set spills into an exact bitmap over the
+// feature's value space, keeping worst-case membership O(1). Nominal
+// value spaces are at most 16 bits wide (ports), so the bitmap tops out
+// at 8 KiB.
+//
+// The zero value is an empty set; space must be set (via init) before
+// the first insert so a spill can size the bitmap.
+type nominalSet struct {
+	small []uint32 // sorted admitted values; nil once spilled
+	bits  []uint64 // exact bitmap, non-nil once spilled
+	n     int      // cardinality
+	space uint32   // value-space size (Feature.MaxValue()+1)
+}
+
+// smallSetMax is the cardinality at which a set spills from the sorted
+// slice to the bitmap. 64 values keep the slice in four cache lines and
+// the binary search at six steps.
+const smallSetMax = 64
+
+// init prepares an empty set over a value space of the given size.
+func (s *nominalSet) init(space uint32) {
+	s.small, s.bits, s.n, s.space = s.small[:0], nil, 0, space
+}
+
+// contains reports whether v is admitted.
+func (s *nominalSet) contains(v uint32) bool {
+	if s.bits != nil {
+		return s.bits[v>>6]&(1<<(v&63)) != 0
+	}
+	lo, hi := 0, len(s.small)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.small[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.small) && s.small[lo] == v
+}
+
+// insert admits v, reporting whether it was newly added.
+func (s *nominalSet) insert(v uint32) bool {
+	if s.bits != nil {
+		w, m := v>>6, uint64(1)<<(v&63)
+		if s.bits[w]&m != 0 {
+			return false
+		}
+		s.bits[w] |= m
+		s.n++
+		return true
+	}
+	lo, hi := 0, len(s.small)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.small[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.small) && s.small[lo] == v {
+		return false
+	}
+	if len(s.small) >= smallSetMax {
+		s.spill()
+		s.bits[v>>6] |= 1 << (v & 63)
+		s.n++
+		return true
+	}
+	s.small = append(s.small, 0)
+	copy(s.small[lo+1:], s.small[lo:])
+	s.small[lo] = v
+	s.n++
+	return true
+}
+
+// spill converts the sorted slice into the bitmap representation.
+func (s *nominalSet) spill() {
+	words := (uint64(s.space) + 63) / 64
+	if words == 0 {
+		// space unset (defensive): size for a full 16-bit feature.
+		words = 1 << 10
+	}
+	s.bits = make([]uint64, words)
+	for _, v := range s.small {
+		s.bits[v>>6] |= 1 << (v & 63)
+	}
+	s.small = nil
+}
+
+// card returns the number of admitted values.
+func (s *nominalSet) card() int { return s.n }
+
+// each visits every admitted value in ascending order.
+func (s *nominalSet) each(fn func(uint32)) {
+	if s.bits == nil {
+		for _, v := range s.small {
+			fn(v)
+		}
+		return
+	}
+	for wi, w := range s.bits {
+		for ; w != 0; w &= w - 1 {
+			fn(uint32(wi)<<6 | uint32(bits.TrailingZeros64(w)))
+		}
+	}
+}
+
+// unionExtra counts the values in s that t does not admit — the growth
+// of t's cardinality if s were merged into it.
+func (s *nominalSet) unionExtra(t *nominalSet) int {
+	extra := 0
+	s.each(func(v uint32) {
+		if !t.contains(v) {
+			extra++
+		}
+	})
+	return extra
+}

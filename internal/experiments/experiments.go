@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // Options tune experiment execution.
@@ -25,6 +26,12 @@ type Options struct {
 	Quick bool
 	// Seed drives all traffic generation.
 	Seed int64
+	// Parallel is the worker count for independent sweep points within
+	// an experiment (thresholds, cluster counts, bottlenecks, attack
+	// variations). 0 or 1 runs sequentially. Results are byte-identical
+	// at any worker count: every sweep point derives its own RNG from
+	// Seed and writes to its own slot, and series assembly is ordered.
+	Parallel int
 }
 
 // Series is one named curve or table column.
@@ -193,9 +200,13 @@ func (r *Result) CSV() string {
 	return b.String()
 }
 
+// truncate shortens s to at most n runes, replacing the tail with an
+// ellipsis. Indexing by runes (not bytes) keeps multibyte UTF-8
+// sequences intact.
 func truncate(s string, n int) string {
-	if len(s) <= n {
+	if utf8.RuneCountInString(s) <= n {
 		return s
 	}
-	return s[:n-1] + "…"
+	runes := []rune(s)
+	return string(runes[:n-1]) + "…"
 }

@@ -34,19 +34,29 @@ func Fig10(opt Options) *Result {
 		ks = []int{2, 6, 10}
 	}
 
+	// The specs x ks grid points are independent (each builds its own
+	// source and clusterer from the day seed): run them across the
+	// worker pool, each writing only its own grid cell.
 	type point struct{ purity, recallB float64 }
+	grid := make([][]point, len(specs))
+	for i := range grid {
+		grid[i] = make([]point, len(ks))
+	}
+	RunGrid(opt, len(specs), len(ks), func(si, ki int) {
+		metrics := runInferenceDay(day, ks[ki], feats, specs[si])
+		var pSum, rbSum float64
+		for _, m := range metrics {
+			pSum += m.purity
+			rbSum += m.recallB
+		}
+		n := float64(len(metrics))
+		grid[si][ki] = point{purity: pSum / n, recallB: rbSum / n}
+	})
 	results := map[string]map[int]point{}
-	for _, spec := range specs {
+	for si, spec := range specs {
 		results[spec.name] = map[int]point{}
-		for _, k := range ks {
-			metrics := runInferenceDay(day, k, feats, spec)
-			var pSum, rbSum float64
-			for _, m := range metrics {
-				pSum += m.purity
-				rbSum += m.recallB
-			}
-			n := float64(len(metrics))
-			results[spec.name][k] = point{purity: pSum / n, recallB: rbSum / n}
+		for ki, k := range ks {
+			results[spec.name][k] = grid[si][ki]
 		}
 	}
 

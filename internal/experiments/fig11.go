@@ -71,19 +71,29 @@ func Fig11(opt Options) *Result {
 	if opt.Quick {
 		end = 10 * eventsim.Second
 	}
-	for _, vec := range []string{"MSSQL", "SSDP"} {
-		for _, rk := range rankings {
-			src := traffic.Merge(
-				traffic.NewBackground(traffic.BackgroundConfig{Rate: 6e6, Start: 0, End: end, Seed: opt.Seed}),
-				traffic.VectorsMust(vec).Flood(eventsim.Second, end, 40e6, packet.V4Addr{198, 18, 99, 1}, 0, opt.Seed+7),
-			)
-			// Packet-seeded clustering (no slice tiling) so cluster
-			// sizes genuinely reflect aggregate similarity: this is
-			// the regime where the ranking choice matters (Fig. 11a).
-			cfg := turboVariant(cluster.Manhattan, cluster.Fast, rk)
-			cfg.Clustering.SliceInit = false
-			tr := runTurbo(src, 10e6, end, cfg)
-			score := tr.score()
+	vecs := []string{"MSSQL", "SSDP"}
+	// Each vector x ranking cell builds its own source and engine: fan
+	// the grid out, then emit series and notes in grid order.
+	scores := make([][]float64, len(vecs))
+	for i := range scores {
+		scores[i] = make([]float64, len(rankings))
+	}
+	RunGrid(opt, len(vecs), len(rankings), func(vi, ri int) {
+		src := traffic.Merge(
+			traffic.NewBackground(traffic.BackgroundConfig{Rate: 6e6, Start: 0, End: end, Seed: opt.Seed}),
+			traffic.VectorsMust(vecs[vi]).Flood(eventsim.Second, end, 40e6, packet.V4Addr{198, 18, 99, 1}, 0, opt.Seed+7),
+		)
+		// Packet-seeded clustering (no slice tiling) so cluster
+		// sizes genuinely reflect aggregate similarity: this is
+		// the regime where the ranking choice matters (Fig. 11a).
+		cfg := turboVariant(cluster.Manhattan, cluster.Fast, rankings[ri])
+		cfg.Clustering.SliceInit = false
+		tr := runTurbo(src, 10e6, end, cfg)
+		scores[vi][ri] = tr.score()
+	})
+	for vi, vec := range vecs {
+		for ri, rk := range rankings {
+			score := scores[vi][ri]
 			r.Add(Series{Name: fmt.Sprintf("Fig11a/%s %s score", vec, rk), Y: []float64{score}})
 			r.Note("Fig11a: %s with %s ranking: score %.0f%%", vec, rk, score)
 		}
@@ -123,14 +133,17 @@ func Fig11(opt Options) *Result {
 	for i, c := range capacities {
 		xs[i] = c / 1e6
 	}
+	grid := make([][]float64, len(schemes))
+	for i := range grid {
+		grid[i] = make([]float64, len(capacities))
+	}
+	RunGrid(opt, len(schemes), len(capacities), func(si, ci int) {
+		grid[si][ci] = schemes[si].run(capacities[ci])
+	})
 	drops := map[string][]float64{}
-	for _, s := range schemes {
-		ys := make([]float64, len(capacities))
-		for i, c := range capacities {
-			ys[i] = s.run(c)
-		}
-		drops[s.name] = ys
-		r.Add(Series{Name: "Fig11b/" + s.name, X: xs, Y: ys})
+	for si, s := range schemes {
+		drops[s.name] = grid[si]
+		r.Add(Series{Name: "Fig11b/" + s.name, X: xs, Y: grid[si]})
 	}
 	r.Note("Fig11b at %.0f Mbps: FIFO %.1f%%, Manh. Fast Th. %.1f%%, PIFO Ideal %.1f%% "+
 		"(paper: ACC-Turbo saves up to 29%% more benign traffic than FIFO, ~5%% from ideal)",

@@ -26,23 +26,22 @@ func Fig8(opt Options) *Result {
 		return traffic.Variation(traffic.SingleFlow, hwBgRate, 10*hwLink, attackStart, end, opt.Seed)
 	}
 
-	// Baselines.
-	recFIFO := runFIFO(newSrc(), hwLink, end)
-	tr := runTurbo(newSrc(), hwLink, end, hwTurboConfig())
-	fifoDrop := recFIFO.BenignDropPercent()
-	turboDrop := tr.rec.BenignDropPercent()
-	r.Note("baselines: FIFO %.1f%%, ACC-Turbo %.1f%% benign drops", fifoDrop, turboDrop)
-
 	// (a) threshold sweep at the controller's fastest periodicity.
 	thresholds := []float64{1, 10, 1e2, 1e3, 1e4, 1e5, 1e6, 3e6, 5e6, 7e6, 1e7, 1e8}
 	if opt.Quick {
 		thresholds = []float64{1, 1e3, 1e5, 1e7}
 	}
-	// At 1:1000 scale the attack generates ~12.5 kpps instead of
-	// ~12.5 Mpps: scale the sweep down by the same factor so the
-	// crossover sits in the same relative position.
-	var xs, ys []float64
-	for _, th := range thresholds {
+	// (b) inter-reset-time sweep for a low and a high threshold.
+	resets := []float64{1, 2, 5, 10, 15, 20}
+	if opt.Quick {
+		resets = []float64{1, 10, 20}
+	}
+	resetThs := []float64{1e4, 1e7}
+
+	runJ := func(th, reset float64) float64 {
+		// At 1:1000 scale the attack generates ~12.5 kpps instead of
+		// ~12.5 Mpps: scale the sweep down by the same factor so the
+		// crossover sits in the same relative position.
 		scaled := th / 1000
 		if scaled < 1 {
 			scaled = 1
@@ -50,49 +49,58 @@ func Fig8(opt Options) *Result {
 		cfg := jaqen.DefaultConfig()
 		cfg.Threshold = uint64(scaled)
 		cfg.Window = eventsim.Second
-		cfg.ResetPeriod = eventsim.Second
+		cfg.ResetPeriod = eventsim.FromSeconds(reset)
 		recJ, _ := runJaqen(newSrc(), hwLink, end, cfg)
-		xs = append(xs, th)
-		ys = append(ys, recJ.BenignDropPercent())
+		return recJ.BenignDropPercent()
 	}
-	r.Add(Series{Name: "Fig8a/Jaqen", X: xs, Y: ys})
+
+	// Every simulation below is independent (fresh source from
+	// opt.Seed, own result slot), so baselines and both sweeps run as
+	// one flat task list across the worker pool.
+	var fifoDrop, turboDrop float64
+	ys := make([]float64, len(thresholds))
+	rys := make([][]float64, len(resetThs))
+	for i := range rys {
+		rys[i] = make([]float64, len(resets))
+	}
+	tasks := []func(){
+		func() { fifoDrop = runFIFO(newSrc(), hwLink, end).BenignDropPercent() },
+		func() { turboDrop = runTurbo(newSrc(), hwLink, end, hwTurboConfig()).rec.BenignDropPercent() },
+	}
+	for i, th := range thresholds {
+		i, th := i, th
+		tasks = append(tasks, func() { ys[i] = runJ(th, 1) })
+	}
+	for i, th := range resetThs {
+		for j, reset := range resets {
+			i, j, th, reset := i, j, th, reset
+			tasks = append(tasks, func() { rys[i][j] = runJ(th, reset) })
+		}
+	}
+	RunParallel(opt, len(tasks), func(i int) { tasks[i]() })
+
+	// Assembly is strictly sequential and ordered, so output is
+	// byte-identical at any worker count.
+	r.Note("baselines: FIFO %.1f%%, ACC-Turbo %.1f%% benign drops", fifoDrop, turboDrop)
+	r.Add(Series{Name: "Fig8a/Jaqen", X: thresholds, Y: ys})
 	flat := func(v float64) []float64 {
-		out := make([]float64, len(xs))
+		out := make([]float64, len(thresholds))
 		for i := range out {
 			out[i] = v
 		}
 		return out
 	}
-	r.Add(Series{Name: "Fig8a/FIFO", X: xs, Y: flat(fifoDrop)})
-	r.Add(Series{Name: "Fig8a/ACC-Turbo", X: xs, Y: flat(turboDrop)})
+	r.Add(Series{Name: "Fig8a/FIFO", X: thresholds, Y: flat(fifoDrop)})
+	r.Add(Series{Name: "Fig8a/ACC-Turbo", X: thresholds, Y: flat(turboDrop)})
 	lo, hi := minOf(ys), maxOf(ys)
 	r.Note("Fig8a: Jaqen benign drops range %.1f%%-%.1f%% across thresholds (paper: ~10%% to ~75%%+)", lo, hi)
 
-	// (b) inter-reset-time sweep for a low and a high threshold.
-	resets := []float64{1, 2, 5, 10, 15, 20}
-	if opt.Quick {
-		resets = []float64{1, 10, 20}
-	}
-	for _, th := range []float64{1e4, 1e7} {
-		var rx, ry []float64
-		for _, reset := range resets {
-			cfg := jaqen.DefaultConfig()
-			scaled := th / 1000
-			if scaled < 1 {
-				scaled = 1
-			}
-			cfg.Threshold = uint64(scaled)
-			cfg.Window = eventsim.Second
-			cfg.ResetPeriod = eventsim.FromSeconds(reset)
-			recJ, _ := runJaqen(newSrc(), hwLink, end, cfg)
-			rx = append(rx, reset)
-			ry = append(ry, recJ.BenignDropPercent())
-		}
+	for i, th := range resetThs {
 		name := "Fig8b/Jaqen Th=1e4"
 		if th == 1e7 {
 			name = "Fig8b/Jaqen Th=1e7"
 		}
-		r.Add(Series{Name: name, X: rx, Y: ry})
+		r.Add(Series{Name: name, X: resets, Y: rys[i]})
 	}
 	return r
 }

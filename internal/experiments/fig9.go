@@ -195,9 +195,14 @@ func Fig9(opt Options) *Result {
 		packet.FDstIP, packet.FSrcIP, packet.FSrcPort, packet.FDstPort,
 		packet.FTTL, packet.FLength, packet.FFragOffset, packet.FID, packet.FProtocol,
 	}
-	var fx, fp, frb, frm []float64
-	for i, f := range singles {
-		fs := packet.FeatureSet{f}
+	fx := make([]float64, len(singles))
+	fp := make([]float64, len(singles))
+	frb := make([]float64, len(singles))
+	frm := make([]float64, len(singles))
+	// Single-feature runs are independent; fan them out, then emit
+	// notes in feature order so output matches the sequential run.
+	RunParallel(opt, len(singles), func(i int) {
+		fs := packet.FeatureSet{singles[i]}
 		m := runInferenceDay(day, 10, fs, onlineStrategy("single", fs, cluster.Manhattan, cluster.Fast))
 		var pSum, rbSum, rmSum float64
 		for _, vm := range m {
@@ -206,12 +211,14 @@ func Fig9(opt Options) *Result {
 			rmSum += vm.recallM
 		}
 		n := float64(len(m))
-		fx = append(fx, float64(i))
-		fp = append(fp, pSum/n)
-		frb = append(frb, rbSum/n)
-		frm = append(frm, rmSum/n)
+		fx[i] = float64(i)
+		fp[i] = pSum / n
+		frb[i] = rbSum / n
+		frm[i] = rmSum / n
+	})
+	for i, f := range singles {
 		r.Note("Fig9b: feature %-12s purity %.1f%% recallB %.1f%% recallM %.1f%%",
-			f, pSum/n, rbSum/n, rmSum/n)
+			f, fp[i], frb[i], frm[i])
 	}
 	r.Add(Series{Name: "Fig9b/Purity by feature", X: fx, Y: fp})
 	r.Add(Series{Name: "Fig9b/Recall benign", X: fx, Y: frb})

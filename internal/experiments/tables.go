@@ -89,11 +89,17 @@ func Table3(opt Options) *Result {
 	for i := range variations {
 		xs[i] = float64(i)
 	}
-	for _, rw := range rows {
-		ys := make([]float64, len(variations))
-		for i, v := range variations {
-			ys[i] = rw.drop(v)
-		}
+	// Each scheme x variation cell is its own simulation; fan the grid
+	// out, then assemble rows in order.
+	grid := make([][]float64, len(rows))
+	for i := range grid {
+		grid[i] = make([]float64, len(variations))
+	}
+	RunGrid(opt, len(rows), len(variations), func(ri, vi int) {
+		grid[ri][vi] = rows[ri].drop(variations[vi])
+	})
+	for ri, rw := range rows {
+		ys := grid[ri]
 		r.Add(Series{Name: rw.name, X: xs, Y: ys})
 		r.Note("Table3: %-16s  NoAttack %.2f%%  SingleFlow %.2f%%  Carpet %.2f%%  Spoofed %.2f%%",
 			rw.name, ys[0], ys[1], ys[2], ys[3])

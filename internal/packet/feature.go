@@ -133,11 +133,13 @@ func (p *Packet) Value(f Feature) uint32 {
 // FeatureSet is an ordered list of clustering dimensions.
 type FeatureSet []Feature
 
-// Extract fills dst (which must have len(fs) capacity) with the
-// packet's feature values in set order and returns it. A nil dst
-// allocates.
+// Extract fills dst with the packet's feature values in set order and
+// returns it. dst is reused when it has capacity for len(fs) values;
+// a nil or short dst is replaced by a fresh allocation, so callers on
+// the zero-alloc fast path should pass a buffer of at least len(fs)
+// capacity.
 func (fs FeatureSet) Extract(p *Packet, dst []uint32) []uint32 {
-	if dst == nil {
+	if cap(dst) < len(fs) {
 		dst = make([]uint32, len(fs))
 	}
 	dst = dst[:len(fs)]

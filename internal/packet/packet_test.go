@@ -231,6 +231,16 @@ func TestFeatureSetExtract(t *testing.T) {
 	if &got2[0] != &buf[0] {
 		t.Errorf("Extract should reuse the provided buffer")
 	}
+	// A short non-nil dst must grow, not panic on reslice.
+	got3 := fs.Extract(p, make([]uint32, 1))
+	if !reflect.DeepEqual(got3, want) {
+		t.Errorf("Extract with short dst = %v, want %v", got3, want)
+	}
+	// A zero-length slice of a large backing array is still reusable.
+	got4 := fs.Extract(p, buf[:0])
+	if &got4[0] != &buf[0] || !reflect.DeepEqual(got4, want) {
+		t.Errorf("Extract should reuse capacity of a truncated buffer")
+	}
 }
 
 func TestDefaultFeatureSets(t *testing.T) {
