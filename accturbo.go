@@ -109,50 +109,140 @@ type Verdict struct {
 }
 
 // Defense is a standalone ACC-Turbo pipeline: the online-clustering
-// data plane plus the ranking control loop, driven by caller-supplied
-// timestamps rather than a simulated switch. It is not safe for
-// concurrent use.
+// data plane plus the ranking control loop, split along the same
+// dataplane/control-plane boundary as internal/core and driven through
+// its Clock abstraction.
+//
+// Concurrency contract, per mode:
+//
+//   - Config.Shards <= 1 (NewDefense): the deterministic single
+//     pipeline. The control loop runs in virtual time advanced by the
+//     caller-supplied Process timestamps, so runs are exactly
+//     reproducible. NOT safe for concurrent use — feed it from one
+//     goroutine.
+//   - Config.Shards > 1 (NewDefense or NewRealTimeDefense): the
+//     concurrent sharded pipeline. Process is safe from any number of
+//     goroutines: packets demux to per-shard clusterers by flow hash,
+//     and the control loop runs on a wall clock, merging per-shard
+//     snapshots into one global ranking. Call Close when done.
 type Defense struct {
-	eng   *eventsim.Engine
-	turbo *core.Turbo
+	cfg   core.Config
+	dp    *core.Dataplane
+	cp    *core.ControlPlane
+	eng   *eventsim.Engine // deterministic mode (nil in real-time mode)
+	clock *core.WallClock  // real-time mode (nil in deterministic mode)
 }
 
-// NewDefense builds a pipeline from cfg. It panics on an invalid
-// configuration, like the underlying constructors.
+// NewDefense builds a pipeline from cfg. With cfg.Shards <= 1 it is the
+// deterministic virtual-time pipeline; with cfg.Shards > 1 it is the
+// concurrent real-time pipeline (identical to NewRealTimeDefense). It
+// panics on an invalid configuration, like the underlying
+// constructors.
 func NewDefense(cfg Config) *Defense {
+	if cfg.Shards > 1 {
+		return NewRealTimeDefense(cfg)
+	}
 	eng := eventsim.New()
-	return &Defense{eng: eng, turbo: core.New(eng, cfg)}
+	d := &Defense{
+		cfg: cfg,
+		eng: eng,
+		dp:  core.NewDataplane(cfg, false),
+	}
+	d.cp = core.NewControlPlane(d.dp, core.SimClock{Eng: eng}, cfg)
+	d.cp.Start()
+	return d
 }
 
-// Process advances the pipeline clock to `at` (running any due control
-// loops) and classifies one packet. Timestamps must be non-decreasing.
-func (d *Defense) Process(at time.Duration, p *Packet) Verdict {
-	t := eventsim.FromDuration(at)
-	if t > d.eng.Now() {
-		d.eng.RunUntil(t)
+// NewRealTimeDefense builds a concurrent pipeline whose control loop
+// runs on the wall clock: polls fire every PollInterval of real time
+// and deployments apply DeployDelay later, regardless of Process
+// timestamps. Any cfg.Shards >= 0 is accepted (0 and 1 mean one shard,
+// still goroutine-safe). Call Close to stop the control loop.
+func NewRealTimeDefense(cfg Config) *Defense {
+	clock := core.NewWallClock()
+	d := &Defense{
+		cfg:   cfg,
+		clock: clock,
+		dp:    core.NewDataplane(cfg, true),
 	}
-	a := d.turbo.Clusterer().Observe(p)
+	d.cp = core.NewControlPlane(d.dp, clock, cfg)
+	d.cp.Start()
+	return d
+}
+
+// Process classifies one packet. In deterministic mode it first
+// advances the pipeline clock to `at` (running any due control loops);
+// timestamps must be non-decreasing. In real-time mode `at` is ignored
+// — the control loop is already running on the wall clock — and
+// Process may be called from any goroutine.
+func (d *Defense) Process(at time.Duration, p *Packet) Verdict {
+	if d.eng != nil {
+		t := eventsim.FromDuration(at)
+		if t > d.eng.Now() {
+			d.eng.RunUntil(t)
+		}
+	}
+	a, q := d.dp.Classify(p)
 	return Verdict{
 		Cluster:    a.Cluster,
-		Queue:      d.turbo.QueueOf(a.Cluster),
+		Queue:      q,
 		Distance:   a.Distance,
 		NewCluster: a.Created,
 	}
 }
 
-// Clusters returns the interpretable snapshot of all aggregates.
-func (d *Defense) Clusters() []ClusterInfo { return d.turbo.Clusterer().Snapshot() }
+// Poll forces one control-loop iteration immediately (poll → rank →
+// map, with the deployment still applying after DeployDelay), without
+// waiting for the next PollInterval tick. Safe in both modes; in
+// deterministic mode it uses the current virtual time.
+func (d *Defense) Poll() {
+	var now eventsim.Time
+	if d.eng != nil {
+		now = d.eng.Now()
+	} else {
+		now = d.clock.Now()
+	}
+	d.cp.Step(now)
+}
+
+// Close stops the control loop. Required in real-time mode to release
+// its timers; a no-op in deterministic mode.
+func (d *Defense) Close() {
+	d.cp.Stop()
+	if d.clock != nil {
+		d.clock.Close()
+	}
+}
+
+// Shards returns the number of data-plane clustering pipelines.
+func (d *Defense) Shards() int { return d.dp.NumShards() }
+
+// PacketsObserved returns the total number of packets processed across
+// all shards (exact once ingest has quiesced).
+func (d *Defense) PacketsObserved() uint64 { return d.dp.Observed() }
+
+// Deployments returns the number of cluster→queue mappings the control
+// plane has pushed to the data plane.
+func (d *Defense) Deployments() uint64 { return d.cp.Deployments() }
+
+// Clusters returns the interpretable snapshot of all aggregates — the
+// per-shard views merged slot-wise when sharded. The snapshot is a deep
+// copy owned by the caller.
+func (d *Defense) Clusters() []ClusterInfo { return d.dp.Snapshot() }
 
 // LastDecision returns the most recent control-loop outcome (nil until
-// the first deployment).
-func (d *Defense) LastDecision() *Decision { return d.turbo.LastDecision }
+// the first deployment). The decision and its cluster snapshot are
+// immutable once published.
+func (d *Defense) LastDecision() *Decision { return d.cp.LastDecision() }
 
-// QueueOf returns the live priority queue of a cluster.
-func (d *Defense) QueueOf(clusterID int) int { return d.turbo.QueueOf(clusterID) }
+// QueueOf returns the live priority queue of a cluster. Unknown or
+// out-of-range IDs report the lowest-priority queue, matching the
+// data-plane classifier.
+func (d *Defense) QueueOf(clusterID int) int { return d.dp.QueueOf(clusterID) }
 
 // NumQueues returns the number of strict-priority queues (queue
 // NumQueues-1 is the lowest priority).
-func (d *Defense) NumQueues() int { return d.turbo.Config().NumQueues }
+func (d *Defense) NumQueues() int { return d.dp.Config().NumQueues }
 
 // Experiment metadata, re-exported from the harness.
 type (

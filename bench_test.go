@@ -16,6 +16,7 @@ package accturbo
 // cmd/experiments without -quick.
 
 import (
+	"fmt"
 	"testing"
 
 	"accturbo/internal/experiments"
@@ -218,6 +219,38 @@ func BenchmarkDefenseProcessExhaustive(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Process(0, pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkDefenseSharded measures aggregate Observe throughput of the
+// concurrent pipeline at 1/2/4/8 shards, fed via RunParallel from
+// GOMAXPROCS goroutines. All shard counts run the same locked
+// concurrent mode, so the sweep isolates what sharding buys: per-shard
+// locks stop contending once flows spread across pipelines. On a
+// multi-core runner 4 shards should clear ~2x the 1-shard rate; on a
+// single core the sweep degenerates to lock overhead only.
+func BenchmarkDefenseSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Clustering.SliceInit = true
+			cfg.Shards = shards
+			d := NewRealTimeDefense(cfg)
+			defer d.Close()
+			pkts := make([]*Packet, 1024)
+			for i := range pkts {
+				pkts[i] = benignPacket(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					d.Process(0, pkts[i%len(pkts)])
+					i++
+				}
+			})
+		})
 	}
 }
 

@@ -4,21 +4,43 @@
 // library. Use cmd/trafficgen to produce input captures, or feed any
 // raw-IP pcap.
 //
+// Two modes:
+//
+//   - Replay (default): the deterministic single pipeline. The control
+//     loop runs in the capture's own timeline, so identical inputs
+//     yield identical verdicts.
+//   - Real time (-realtime, or -shards > 1): the concurrent sharded
+//     pipeline on the wall-clock driver. Capture timestamps are
+//     ignored; packets are fanned across ingest goroutines as fast as
+//     the pipeline absorbs them and the control loop polls on real
+//     time — the software-router deployment shape, reported with
+//     ingest throughput.
+//
 // Usage:
 //
-//	accturbo-defend -in day.pcap                  # aggregate report
-//	accturbo-defend -in day.pcap -verdicts out.csv # per-packet verdicts
+//	accturbo-defend -in day.pcap                    # aggregate report
+//	accturbo-defend -in day.pcap -verdicts out.csv  # per-packet verdicts
+//	accturbo-defend -in day.pcap -realtime -shards 4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"accturbo"
+	"accturbo/internal/packet"
 	"accturbo/internal/pcap"
 )
+
+type capturedPacket struct {
+	at  time.Duration
+	pkt *packet.Packet
+}
 
 func main() {
 	in := flag.String("in", "", "input pcap (raw-IP linktype)")
@@ -26,10 +48,16 @@ func main() {
 	clusters := flag.Int("clusters", 4, "number of clusters / priority queues")
 	pollMs := flag.Int("poll", 250, "controller poll interval (ms)")
 	reseedMs := flag.Int("reseed", 1000, "cluster re-initialization period (ms, 0 = never)")
+	realtime := flag.Bool("realtime", false, "run the wall-clock pipeline instead of deterministic replay")
+	shards := flag.Int("shards", 1, "data-plane clustering shards (> 1 implies -realtime)")
+	ingest := flag.Int("ingest", runtime.GOMAXPROCS(0), "ingest goroutines in real-time mode")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "missing -in capture")
 		os.Exit(2)
+	}
+	if *shards > 1 {
+		*realtime = true
 	}
 
 	f, err := os.Open(*in)
@@ -48,12 +76,20 @@ func main() {
 	cfg.Clustering.MaxClusters = *clusters
 	cfg.Clustering.SliceInit = true
 	cfg.NumQueues = *clusters
+	cfg.Shards = *shards
 	cfg.PollInterval = accturbo.FromDuration(time.Duration(*pollMs) * time.Millisecond)
 	cfg.DeployDelay = cfg.PollInterval / 5
 	if *reseedMs > 0 {
 		cfg.ReseedInterval = accturbo.FromDuration(time.Duration(*reseedMs) * time.Millisecond)
 	}
-	d := accturbo.NewDefense(cfg)
+
+	var d *accturbo.Defense
+	if *realtime {
+		d = accturbo.NewRealTimeDefense(cfg)
+	} else {
+		d = accturbo.NewDefense(cfg)
+	}
+	defer d.Close()
 
 	var vf *os.File
 	if *verdictsOut != "" {
@@ -67,33 +103,76 @@ func main() {
 	}
 
 	// queueCounts[q] accumulates packets scheduled into queue q.
-	queueCounts := make([]uint64, *clusters)
-	n := 0
-	for {
-		at, p, err := r.Next()
-		if err != nil {
-			break
-		}
-		v := d.Process(at.Duration(), p)
+	queueCounts := make([]atomic.Uint64, *clusters)
+	var vfMu sync.Mutex
+	processOne := func(c capturedPacket) {
+		v := d.Process(c.at, c.pkt)
 		if v.Queue >= 0 && v.Queue < len(queueCounts) {
-			queueCounts[v.Queue]++
+			queueCounts[v.Queue].Add(1)
 		}
 		if vf != nil {
+			vfMu.Lock()
 			fmt.Fprintf(vf, "%d,%s,%s,%d,%d,%d,%d,%d,%d,%.0f\n",
-				at.Duration().Microseconds(), p.SrcIP, p.DstIP, uint8(p.Protocol),
-				p.SrcPort, p.DstPort, p.Length, v.Cluster, v.Queue, v.Distance)
+				c.at.Microseconds(), c.pkt.SrcIP, c.pkt.DstIP, uint8(c.pkt.Protocol),
+				c.pkt.SrcPort, c.pkt.DstPort, c.pkt.Length, v.Cluster, v.Queue, v.Distance)
+			vfMu.Unlock()
 		}
-		n++
 	}
 
-	fmt.Printf("processed %d packets from %s\n\n", n, *in)
-	fmt.Println("final aggregates (operator view):")
+	n := 0
+	start := time.Now()
+	if *realtime {
+		workers := *ingest
+		if workers < 1 {
+			workers = 1
+		}
+		feed := make(chan capturedPacket, 1024)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range feed {
+					processOne(c)
+				}
+			}()
+		}
+		for {
+			at, p, err := r.Next()
+			if err != nil {
+				break
+			}
+			feed <- capturedPacket{at: at.Duration(), pkt: p}
+			n++
+		}
+		close(feed)
+		wg.Wait()
+	} else {
+		for {
+			at, p, err := r.Next()
+			if err != nil {
+				break
+			}
+			processOne(capturedPacket{at: at.Duration(), pkt: p})
+			n++
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("processed %d packets from %s\n", n, *in)
+	if *realtime {
+		rate := float64(n) / elapsed.Seconds()
+		fmt.Printf("real-time mode: %d shards, %d ingest goroutines, %.0f pkts/s wall, %d deployments, %d observed\n",
+			d.Shards(), *ingest, rate, d.Deployments(), d.PacketsObserved())
+	}
+	fmt.Println("\nfinal aggregates (operator view):")
 	for _, info := range d.Clusters() {
 		fmt.Printf("  cluster %d -> queue %d: %8d pkts total, size %.0f\n",
 			info.ID, d.QueueOf(info.ID), info.TotalPackets, info.Size)
 	}
 	fmt.Println("\nscheduling distribution:")
-	for q, c := range queueCounts {
+	for q := range queueCounts {
+		c := queueCounts[q].Load()
 		pct := 0.0
 		if n > 0 {
 			pct = 100 * float64(c) / float64(n)

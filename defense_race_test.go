@@ -1,0 +1,126 @@
+package accturbo
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardedDefenseConcurrentIngest hammers a sharded Defense from
+// GOMAXPROCS goroutines (run under -race in CI) and checks the two
+// invariants a concurrent pipeline must keep: conservation — every
+// packet fed comes back out as exactly one assignment — and validity —
+// every verdict names a real cluster slot and a real queue.
+func TestShardedDefenseConcurrentIngest(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = 4
+	cfg.PollInterval = FromDuration(2 * time.Millisecond)
+	cfg.DeployDelay = FromDuration(time.Millisecond)
+	d := NewDefense(cfg)
+	defer d.Close()
+	if d.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", d.Shards())
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	const perWorker = 4000
+	maxClusters := cfg.Clustering.MaxClusters
+	numQueues := d.NumQueues()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var v Verdict
+				if i%10 == 0 {
+					v = d.Process(0, floodPacket())
+				} else {
+					v = d.Process(0, benignPacket(w*perWorker+i))
+				}
+				if v.Cluster < 0 || v.Cluster >= maxClusters {
+					errs <- "cluster out of range"
+					return
+				}
+				if v.Queue < 0 || v.Queue >= numQueues {
+					errs <- "queue out of range"
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent control-plane activity and snapshot reads while the
+	// ingest goroutines are running.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			d.Poll()
+			for _, info := range d.Clusters() {
+				if info.ID < 0 || info.ID >= maxClusters {
+					errs <- "snapshot slot out of range"
+					return
+				}
+			}
+			d.LastDecision()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	want := uint64(workers * perWorker)
+	if got := d.PacketsObserved(); got != want {
+		t.Fatalf("conservation broken: observed %d packets, fed %d", got, want)
+	}
+}
+
+// TestRealTimeDefenseDeploys checks the wall-clock control loop end to
+// end through the facade: a flood plus background trickle must trigger
+// a deployment that demotes the flood out of the top queue.
+func TestRealTimeDefenseDeploys(t *testing.T) {
+	cfg := HardwareConfig()
+	cfg.Shards = 2
+	cfg.PollInterval = FromDuration(5 * time.Millisecond)
+	cfg.DeployDelay = FromDuration(time.Millisecond)
+	d := NewRealTimeDefense(cfg)
+	defer d.Close()
+
+	// Feed a dominant flood plus diverse benign flows (so both shards
+	// hold clusters in several slots) until a deployment lands that
+	// demotes the flood's merged slot out of the top queue. The first
+	// deployment may predate the benign clusters and legitimately map a
+	// lone flood cluster to queue 0, hence the retry loop.
+	deadline := time.Now().Add(5 * time.Second)
+	demoted := false
+	for n := 0; time.Now().Before(deadline); n++ {
+		var fv Verdict
+		for i := 0; i < 9; i++ {
+			fv = d.Process(0, floodPacket())
+		}
+		d.Process(0, benignPacket(n%50))
+		if d.Deployments() > 0 && fv.Queue > 0 {
+			demoted = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if d.Deployments() == 0 {
+		t.Fatal("real-time control loop never deployed")
+	}
+	if d.LastDecision() == nil {
+		t.Fatal("no decision recorded")
+	}
+	if !demoted {
+		t.Fatal("flood never demoted out of the highest-priority queue")
+	}
+}

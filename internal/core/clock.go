@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"accturbo/internal/eventsim"
+)
+
+// Clock is the narrow scheduler interface the control plane runs on.
+// It decouples the defense core from the discrete-event simulator: the
+// same poll→rank→map→deploy loop drives both virtual-time experiments
+// (SimClock) and real deployments (WallClock).
+//
+// Implementations must guarantee that callbacks scheduled by the same
+// Clock never run concurrently with each other; they may run
+// concurrently with packet ingest (the data plane synchronizes its own
+// state).
+type Clock interface {
+	// Now returns the current time on this clock's timeline.
+	Now() eventsim.Time
+	// After schedules fn once, delay from now. The returned function
+	// cancels the callback if it has not fired yet.
+	After(delay eventsim.Time, fn func(now eventsim.Time)) (cancel func())
+	// Every schedules fn at now+interval, now+2*interval, ... until the
+	// returned stop function is called.
+	Every(interval eventsim.Time, fn func(now eventsim.Time)) (stop func())
+}
+
+// SimClock adapts an eventsim.Engine to the Clock interface. Scheduling
+// forwards verbatim to the engine, so a control plane driven through a
+// SimClock produces exactly the event sequence (including tie-break
+// order) of one wired to the engine directly — simulations stay
+// bit-identical.
+type SimClock struct {
+	Eng *eventsim.Engine
+}
+
+// Now implements Clock.
+func (c SimClock) Now() eventsim.Time { return c.Eng.Now() }
+
+// After implements Clock.
+func (c SimClock) After(delay eventsim.Time, fn func(now eventsim.Time)) (cancel func()) {
+	h := c.Eng.After(delay, fn)
+	return func() { c.Eng.Cancel(h) }
+}
+
+// Every implements Clock.
+func (c SimClock) Every(interval eventsim.Time, fn func(now eventsim.Time)) (stop func()) {
+	return c.Eng.Every(interval, fn)
+}
+
+// WallClock is the real-time driver: time flows at wall speed from the
+// clock's construction, and callbacks fire on OS timers. All callbacks
+// run on a single dispatch goroutine, preserving the Clock contract
+// that control-plane steps never overlap.
+type WallClock struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	runMu  sync.Mutex // serializes all callback execution
+	closed bool
+	stops  []func()
+}
+
+// NewWallClock returns a wall clock whose timeline starts at zero now.
+func NewWallClock() *WallClock {
+	return &WallClock{epoch: time.Now()}
+}
+
+// Now implements Clock: nanoseconds of wall time since construction.
+func (c *WallClock) Now() eventsim.Time {
+	return eventsim.Time(time.Since(c.epoch).Nanoseconds())
+}
+
+// After implements Clock.
+func (c *WallClock) After(delay eventsim.Time, fn func(now eventsim.Time)) (cancel func()) {
+	t := time.AfterFunc(delay.Duration(), func() {
+		c.runMu.Lock()
+		defer c.runMu.Unlock()
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if !closed {
+			fn(c.Now())
+		}
+	})
+	return func() { t.Stop() }
+}
+
+// Every implements Clock.
+func (c *WallClock) Every(interval eventsim.Time, fn func(now eventsim.Time)) (stop func()) {
+	ticker := time.NewTicker(interval.Duration())
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				ticker.Stop()
+				return
+			case <-ticker.C:
+				c.runMu.Lock()
+				fn(c.Now())
+				c.runMu.Unlock()
+			}
+		}
+	}()
+	var once sync.Once
+	stopFn := func() { once.Do(func() { close(done) }) }
+	c.mu.Lock()
+	c.stops = append(c.stops, stopFn)
+	c.mu.Unlock()
+	return stopFn
+}
+
+// Close stops every periodic callback and suppresses pending one-shots.
+// Safe to call more than once.
+func (c *WallClock) Close() {
+	c.mu.Lock()
+	c.closed = true
+	stops := c.stops
+	c.stops = nil
+	c.mu.Unlock()
+	for _, s := range stops {
+		s()
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"accturbo/internal/cluster"
+	"accturbo/internal/eventsim"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ControlPlane is the periodic half of ACC-Turbo (§5.2): every
+// PollInterval it polls the data plane's cluster statistics, ranks the
+// clusters by estimated maliciousness, maps rank positions onto the
+// strict-priority queues, and deploys the new mapping after
+// DeployDelay. It is driven entirely through the Clock interface, so
+// the identical loop runs in virtual time (SimClock) and wall time
+// (WallClock).
+type ControlPlane struct {
+	cfg   Config
+	dp    *Dataplane
+	clock Clock
+
+	mu      sync.Mutex // serializes Step against itself (manual Poll vs ticker)
+	stops   []func()
+	started bool
+
+	deployments atomic.Uint64
+	lastDec     atomic.Pointer[Decision]
+
+	// OnDeploy, when set, observes every deployed decision. It runs on
+	// the clock's callback context. Set it before Start.
+	OnDeploy func(dec *Decision)
+}
+
+// NewControlPlane builds a control plane over the given data plane and
+// clock. It panics on an invalid configuration.
+func NewControlPlane(dp *Dataplane, clock Clock, cfg Config) *ControlPlane {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	return &ControlPlane{cfg: cfg, dp: dp, clock: clock}
+}
+
+// Start schedules the polling loop (and the reseed loop when
+// configured) on the clock. It must be called at most once.
+func (cp *ControlPlane) Start() {
+	if cp.started {
+		panic("core: ControlPlane started twice")
+	}
+	cp.started = true
+	cp.stops = append(cp.stops, cp.clock.Every(cp.cfg.PollInterval, func(now eventsim.Time) { cp.Step(now) }))
+	if cp.cfg.ReseedInterval > 0 {
+		cp.stops = append(cp.stops, cp.clock.Every(cp.cfg.ReseedInterval, func(eventsim.Time) { cp.dp.Reseed() }))
+	}
+}
+
+// Stop cancels the scheduled loops. Pending deployments still apply.
+func (cp *ControlPlane) Stop() {
+	for _, s := range cp.stops {
+		s()
+	}
+	cp.stops = nil
+}
+
+// Deployments returns the number of mappings pushed to the data plane.
+func (cp *ControlPlane) Deployments() uint64 { return cp.deployments.Load() }
+
+// LastDecision returns the most recent deployed decision (nil before
+// the first deployment). The returned Decision and its Clusters
+// snapshot are immutable once published.
+func (cp *ControlPlane) LastDecision() *Decision { return cp.lastDec.Load() }
+
+// rankMetric computes the configured maliciousness estimate for one
+// cluster snapshot (§5.1).
+func (cp *ControlPlane) rankMetric(info cluster.Info) float64 {
+	var m float64
+	switch cp.cfg.Ranking {
+	case ByThroughput:
+		m = float64(info.Bytes)
+	case ByPacketRate:
+		m = float64(info.Packets)
+	case ByThroughputOverSize:
+		m = float64(info.Bytes) / (info.Size + 1)
+	case ByPacketRateOverSize:
+		m = float64(info.Packets) / (info.Size + 1)
+	}
+	return m
+}
+
+// Step runs one control-loop iteration at time now: poll → rank → map,
+// then schedule the deployment DeployDelay later. It returns the
+// decision that will be deployed, or nil when no clusters exist yet.
+// The periodic loop calls Step; tests and operators may call it
+// directly between ticks.
+func (cp *ControlPlane) Step(now eventsim.Time) *Decision {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+
+	infos := cp.dp.Snapshot()
+	cp.dp.ResetStats()
+	if len(infos) == 0 {
+		return nil
+	}
+
+	nslots := cp.cfg.Clustering.MaxClusters
+	ranks := make([]float64, nslots)
+	order := make([]int, 0, len(infos))
+	for _, info := range infos {
+		ranks[info.ID] = cp.rankMetric(info)
+		order = append(order, info.ID)
+	}
+	// Least suspicious first; ties keep lower cluster IDs first for
+	// determinism.
+	sort.SliceStable(order, func(i, j int) bool {
+		return ranks[order[i]] < ranks[order[j]]
+	})
+
+	newMap := make([]int, nslots)
+	copy(newMap, *cp.dp.queueMap.Load())
+	n := len(order)
+	for pos, id := range order {
+		// Spread rank positions across the available queues: position
+		// 0 (least suspicious) -> queue 0, last -> queue NumQueues-1.
+		q := pos * cp.cfg.NumQueues / n
+		if q >= cp.cfg.NumQueues {
+			q = cp.cfg.NumQueues - 1
+		}
+		newMap[id] = q
+	}
+
+	dec := &Decision{
+		At:         now,
+		DeployedAt: now + cp.cfg.DeployDelay,
+		Clusters:   infos,
+		Rank:       ranks,
+		QueueOf:    newMap,
+	}
+	cp.clock.After(cp.cfg.DeployDelay, func(eventsim.Time) {
+		cp.dp.Deploy(newMap)
+		cp.deployments.Add(1)
+		cp.lastDec.Store(dec)
+		if cp.OnDeploy != nil {
+			cp.OnDeploy(dec)
+		}
+	})
+	return dec
+}

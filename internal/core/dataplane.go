@@ -1,0 +1,242 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"accturbo/internal/cluster"
+	"accturbo/internal/packet"
+)
+
+// Dataplane is the per-packet half of ACC-Turbo: feature extraction →
+// cluster assignment → queue classification. It owns no timers and has
+// no dependency on any clock or engine — state changes only when a
+// packet is offered (Assign/Classify) or when the control plane pushes
+// a decision in (Deploy, ResetStats, Reseed).
+//
+// The pipeline is sharded like a multi-pipe Tofino (§7.1 runs one
+// clusterer per pipeline): packets are demuxed to one of N independent
+// clusterers by an RSS-style flow hash, so packets of the same flow
+// always meet the same clusterer. Cluster slot IDs are a shared
+// namespace across shards — slot i of every shard feeds the same row of
+// the deployed queue mapping, exactly as the per-pipe register copies
+// on hardware share one controller-installed mapping.
+//
+// Concurrency contract: with concurrent=false (the deterministic
+// simulator path) the Dataplane must be driven from a single goroutine
+// and the hot path takes no locks. With concurrent=true each shard is
+// guarded by its own mutex, the queue mapping is swapped atomically,
+// and Assign/Classify are safe from any number of goroutines; the
+// clusterer hot path itself stays lock-free — callers that demux
+// flow-affine traffic one goroutine per shard (RSS) never contend.
+type Dataplane struct {
+	cfg        Config
+	shards     []*shard
+	concurrent bool
+
+	// queueMap is the live cluster-slot→queue mapping installed by the
+	// control plane. Readers load it atomically; Deploy swaps it whole,
+	// so a packet sees either the old or the new mapping, never a mix.
+	queueMap atomic.Pointer[[]int]
+}
+
+// shard is one independent clustering pipeline. The mutex is only taken
+// in concurrent mode. The padding keeps neighbouring shards' write-hot
+// state (mutex, clusterer pointer targets) on distinct cache lines.
+type shard struct {
+	mu        sync.Mutex
+	clusterer *cluster.Online
+	_         [40]byte // pad to a cache line past the mutex
+}
+
+// NewDataplane builds the per-packet pipeline with cfg.Shards clusterer
+// shards (minimum 1). concurrent selects the locking mode documented on
+// Dataplane. It panics on an invalid configuration, like the other
+// constructors in this package.
+func NewDataplane(cfg Config, concurrent bool) *Dataplane {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	d := &Dataplane{cfg: cfg, concurrent: concurrent}
+	for i := 0; i < n; i++ {
+		d.shards = append(d.shards, &shard{clusterer: cluster.NewOnline(cfg.Clustering)})
+	}
+	qm := make([]int, cfg.Clustering.MaxClusters)
+	d.queueMap.Store(&qm)
+	return d
+}
+
+// Config returns the (defaulted) configuration.
+func (d *Dataplane) Config() Config { return d.cfg }
+
+// NumShards returns the number of clustering pipelines.
+func (d *Dataplane) NumShards() int { return len(d.shards) }
+
+// Clusterer exposes shard s's online clusterer for read-only
+// inspection. In concurrent mode the caller must not touch it while
+// packets are in flight.
+func (d *Dataplane) Clusterer(s int) *cluster.Online { return d.shards[s].clusterer }
+
+// ShardOf returns the shard index packet p demuxes to: an FNV-1a hash
+// over the flow 5-tuple, so all packets of a flow — and therefore all
+// packets of a tight aggregate — meet the same clusterer.
+func (d *Dataplane) ShardOf(p *packet.Packet) int {
+	if len(d.shards) == 1 {
+		return 0
+	}
+	return int(flowHash(p) % uint32(len(d.shards)))
+}
+
+// flowHash is FNV-1a over (src IP, dst IP, proto, sport, dport).
+func flowHash(p *packet.Packet) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	src, dst := p.SrcIP.As4(), p.DstIP.As4()
+	for _, b := range src {
+		h = (h ^ uint32(b)) * prime32
+	}
+	for _, b := range dst {
+		h = (h ^ uint32(b)) * prime32
+	}
+	h = (h ^ uint32(p.Protocol)) * prime32
+	h = (h ^ uint32(p.SrcPort&0xff)) * prime32
+	h = (h ^ uint32(p.SrcPort>>8)) * prime32
+	h = (h ^ uint32(p.DstPort&0xff)) * prime32
+	h = (h ^ uint32(p.DstPort>>8)) * prime32
+	return h
+}
+
+// Assign runs the clustering stage for one packet on its shard and
+// returns the explicit assignment — the value the caller threads to
+// QueueFor (or Classify does both). There is no implicit carry-over
+// between calls.
+func (d *Dataplane) Assign(p *packet.Packet) cluster.Assignment {
+	s := d.shards[d.ShardOf(p)]
+	if !d.concurrent {
+		return s.clusterer.Observe(p)
+	}
+	s.mu.Lock()
+	a := s.clusterer.Observe(p)
+	s.mu.Unlock()
+	return a
+}
+
+// QueueFor maps an assigned cluster slot to its live priority queue.
+// Unknown or out-of-range slots (a packet observed against a clusterer
+// generation the controller has not seen yet, or a corrupted ID) route
+// to the lowest-priority queue — never to queue 0, which would hand an
+// attacker the highest priority by default.
+func (d *Dataplane) QueueFor(clusterID int) int {
+	qm := *d.queueMap.Load()
+	if clusterID < 0 || clusterID >= len(qm) {
+		return d.cfg.NumQueues - 1
+	}
+	return qm[clusterID]
+}
+
+// Classify is the full per-packet data-plane step: assign, then look up
+// the queue under the live mapping.
+func (d *Dataplane) Classify(p *packet.Packet) (cluster.Assignment, int) {
+	a := d.Assign(p)
+	return a, d.QueueFor(a.Cluster)
+}
+
+// Observed returns the total number of packets observed across all
+// shards. In concurrent mode it takes each shard's lock, so the value
+// is exact once ingest has quiesced.
+func (d *Dataplane) Observed() uint64 {
+	var total uint64
+	for _, s := range d.shards {
+		if d.concurrent {
+			s.mu.Lock()
+		}
+		total += s.clusterer.Observed
+		if d.concurrent {
+			s.mu.Unlock()
+		}
+	}
+	return total
+}
+
+// Snapshot returns the interpretable cluster view the control plane
+// ranks: shard 0's snapshot verbatim for a single pipeline, or the
+// slot-wise merge across shards (see cluster.MergeSnapshots). The
+// returned Infos are deep copies owned by the caller; the data plane
+// never mutates them afterwards.
+func (d *Dataplane) Snapshot() []cluster.Info {
+	if len(d.shards) == 1 {
+		s := d.shards[0]
+		if !d.concurrent {
+			return s.clusterer.Snapshot()
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.clusterer.Snapshot()
+	}
+	snaps := make([][]cluster.Info, len(d.shards))
+	for i, s := range d.shards {
+		if d.concurrent {
+			s.mu.Lock()
+		}
+		snaps[i] = s.clusterer.Snapshot()
+		if d.concurrent {
+			s.mu.Unlock()
+		}
+	}
+	return cluster.MergeSnapshots(d.cfg.Clustering.Distance, snaps...)
+}
+
+// ResetStats zeroes the per-window counters on every shard (the
+// controller calls this after each poll).
+func (d *Dataplane) ResetStats() {
+	for _, s := range d.shards {
+		if d.concurrent {
+			s.mu.Lock()
+		}
+		s.clusterer.ResetStats()
+		if d.concurrent {
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Reseed discards all clusters on every shard.
+func (d *Dataplane) Reseed() {
+	for _, s := range d.shards {
+		if d.concurrent {
+			s.mu.Lock()
+		}
+		s.clusterer.Reseed()
+		if d.concurrent {
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Deploy installs a new cluster→queue mapping. The slice is copied, so
+// the caller may reuse it; readers switch atomically.
+func (d *Dataplane) Deploy(queueOf []int) {
+	qm := make([]int, len(queueOf))
+	copy(qm, queueOf)
+	d.queueMap.Store(&qm)
+}
+
+// QueueMap returns a copy of the live cluster→queue mapping.
+func (d *Dataplane) QueueMap() []int {
+	qm := *d.queueMap.Load()
+	out := make([]int, len(qm))
+	copy(out, qm)
+	return out
+}
+
+// QueueOf returns the live queue of cluster slot id (the lowest
+// priority for out-of-range ids, mirroring QueueFor).
+func (d *Dataplane) QueueOf(id int) int { return d.QueueFor(id) }

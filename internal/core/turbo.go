@@ -2,22 +2,29 @@
 // clustering in the data plane (§4) combined with programmable
 // scheduling driven by a periodic control loop (§5).
 //
-// Data plane (per packet, line rate): extract features, assign the
-// packet to its closest cluster (extending the cluster to cover it),
-// and enqueue it into the strict-priority queue currently mapped to
-// that cluster.
+// The package is layered like the deployment it models:
 //
-// Control plane (every PollInterval): poll per-cluster statistics
-// (exact byte/packet counts since the last poll, plus cluster sizes),
-// rank clusters by estimated maliciousness, map them to priority
-// queues — most suspicious last — and deploy the mapping after
-// DeployDelay, modeling the controller latency measured in §7
-// (≈1 s with the paper's unoptimized Python controller).
+//   - Dataplane (dataplane.go) is the per-packet pipeline: feature
+//     extraction → cluster assignment → queue classification. It owns
+//     no timers and never touches a clock; it can be sharded into N
+//     independent clusterers fed by an RSS-style flow hash, mirroring
+//     the per-pipe clustering of the multi-pipe Tofino prototype.
+//   - ControlPlane (controlplane.go) is the periodic scheduler: poll
+//     per-cluster statistics (merged across shards), rank clusters by
+//     estimated maliciousness, map them to priority queues — most
+//     suspicious last — and deploy the mapping after DeployDelay,
+//     modeling the controller latency measured in §7.
+//   - Clock (clock.go) is the narrow scheduler interface between them,
+//     with a bit-identical eventsim adapter (SimClock) for simulations
+//     and a wall-clock driver (WallClock) for real-time use.
+//
+// Turbo in this file composes the three for the discrete-event
+// simulator: one Dataplane classifying into a strict-priority qdisc,
+// one ControlPlane on a SimClock.
 package core
 
 import (
 	"fmt"
-	"sort"
 
 	"accturbo/internal/cluster"
 	"accturbo/internal/eventsim"
@@ -83,6 +90,12 @@ type Config struct {
 	// periodically so aggregates can re-form after traffic shifts
 	// (the controller-driven re-initialization of the prototype).
 	ReseedInterval eventsim.Time
+	// Shards is the number of independent data-plane clustering
+	// pipelines (multi-pipe operation). Zero or one selects the single
+	// deterministic pipeline; N > 1 demuxes packets by flow hash across
+	// N clusterers whose snapshots the control plane merges before
+	// ranking.
+	Shards int
 }
 
 // DefaultConfig mirrors the paper's simulation setup: 10 clusters over
@@ -127,6 +140,9 @@ func (c *Config) Validate() error {
 	if c.Ranking > ByPacketRateOverSize {
 		return fmt.Errorf("core: unknown ranking %d", c.Ranking)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: Shards %d < 0", c.Shards)
+	}
 	return nil
 }
 
@@ -147,7 +163,11 @@ type Decision struct {
 	// At is when the mapping was computed; DeployedAt adds the delay.
 	At         eventsim.Time
 	DeployedAt eventsim.Time
-	// Clusters is the snapshot the decision was based on.
+	// Clusters is the snapshot the decision was based on. It is a deep
+	// copy owned by the decision: cluster.Online.Snapshot (and the
+	// sharded merge) copy all per-cluster state, and nothing mutates
+	// the Infos after the decision is formed, so post-hoc inspection
+	// always sees the state the controller ranked.
 	Clusters []cluster.Info
 	// Rank holds the computed rank metric per cluster ID.
 	Rank []float64
@@ -156,21 +176,15 @@ type Decision struct {
 	QueueOf []int
 }
 
-// Turbo is one ACC-Turbo instance.
+// Turbo is one ACC-Turbo instance wired for the discrete-event
+// simulator: a (possibly sharded) Dataplane classifying packets into a
+// strict-priority qdisc, and a ControlPlane driven by the engine's
+// virtual clock.
 type Turbo struct {
-	cfg       Config
-	eng       *eventsim.Engine
-	clusterer *cluster.Online
-	prio      *queue.Priority
-
-	// queueOf is the live cluster->queue mapping (data plane state).
-	queueOf []int
-
-	// cur tracks the in-flight packet between the ingress stage and
-	// the classifier (the simulator is single-threaded, so the pair of
-	// calls is adjacent).
-	curPkt     *packet.Packet
-	curCluster int
+	cfg  Config
+	dp   *Dataplane
+	cp   *ControlPlane
+	prio *queue.Priority
 
 	// Deployments counts mappings pushed to the data plane.
 	Deployments uint64
@@ -189,134 +203,61 @@ func New(eng *eventsim.Engine, cfg Config) *Turbo {
 	}
 	cfg = cfg.withDefaults()
 	t := &Turbo{
-		cfg:       cfg,
-		eng:       eng,
-		clusterer: cluster.NewOnline(cfg.Clustering),
-		queueOf:   make([]int, cfg.Clustering.MaxClusters),
-		curPkt:    nil,
+		cfg: cfg,
+		dp:  NewDataplane(cfg, false),
 	}
 	t.prio = queue.NewPriority(cfg.NumQueues, cfg.QueueBytes, t.classify)
-	eng.Every(cfg.PollInterval, func(now eventsim.Time) { t.controlLoop(now) })
-	if cfg.ReseedInterval > 0 {
-		eng.Every(cfg.ReseedInterval, func(now eventsim.Time) { t.clusterer.Reseed() })
+	t.cp = NewControlPlane(t.dp, SimClock{Eng: eng}, cfg)
+	t.cp.OnDeploy = func(dec *Decision) {
+		t.Deployments++
+		t.LastDecision = dec
 	}
+	t.cp.Start()
 	return t
 }
 
-// Attach builds a port whose qdisc is the ACC-Turbo priority scheduler
-// and whose ingress runs the clustering stage.
+// Attach builds a port whose qdisc is the ACC-Turbo priority scheduler.
+// The clustering stage runs inside the qdisc's classifier — the
+// explicit assignment→queue flow of Dataplane.Classify — so no ingress
+// stage is needed.
 func Attach(eng *eventsim.Engine, rateBits float64, rec *netsim.Recorder, cfg Config) (*netsim.Port, *Turbo) {
 	t := New(eng, cfg)
 	port := netsim.NewPort(eng, t.prio, rateBits, rec)
-	port.AddIngress(t.Ingress())
 	return port, t
 }
 
 // Qdisc exposes the strict-priority scheduler for custom wiring.
 func (t *Turbo) Qdisc() queue.Qdisc { return t.prio }
 
-// Clusterer exposes the online clusterer (read-only use intended).
-func (t *Turbo) Clusterer() *cluster.Online { return t.clusterer }
+// Dataplane exposes the per-packet pipeline.
+func (t *Turbo) Dataplane() *Dataplane { return t.dp }
+
+// ControlPlane exposes the periodic scheduler.
+func (t *Turbo) ControlPlane() *ControlPlane { return t.cp }
+
+// Clusterer exposes shard 0's online clusterer (read-only use
+// intended). With Shards > 1 the other shards are reachable through
+// Dataplane().Clusterer(i).
+func (t *Turbo) Clusterer() *cluster.Online { return t.dp.Clusterer(0) }
 
 // Config returns the (defaulted) configuration.
 func (t *Turbo) Config() Config { return t.cfg }
 
-// Ingress returns the data-plane clustering stage.
-func (t *Turbo) Ingress() netsim.Ingress {
-	return func(now eventsim.Time, p *packet.Packet) bool {
-		a := t.clusterer.Observe(p)
-		t.curPkt, t.curCluster = p, a.Cluster
-		if t.OnAssign != nil {
-			t.OnAssign(now, p, a)
-		}
-		return true // ACC-Turbo never drops at ingress
-	}
-}
-
-// classify maps the packet to the priority queue of its cluster.
+// classify is the data-plane step the strict-priority qdisc runs per
+// packet: assign the packet to its cluster, then look the cluster up in
+// the live queue mapping. The assignment is threaded explicitly from
+// Assign to QueueFor — there is no hidden in-flight packet state, so
+// the classifier works identically whether the packet arrived through a
+// port or was enqueued directly.
 func (t *Turbo) classify(now eventsim.Time, p *packet.Packet) int {
-	if p != t.curPkt {
-		// A packet that bypassed the ingress stage (direct qdisc use):
-		// classify it on the spot without mutating clusters' stats
-		// would diverge from hardware behaviour, so run the full
-		// observation.
-		a := t.clusterer.Observe(p)
-		t.curPkt, t.curCluster = p, a.Cluster
+	a := t.dp.Assign(p)
+	if t.OnAssign != nil {
+		t.OnAssign(now, p, a)
 	}
-	c := t.curCluster
-	if c < len(t.queueOf) {
-		return t.queueOf[c]
-	}
-	return 0
+	return t.dp.QueueFor(a.Cluster)
 }
 
-// QueueOf returns the live queue assignment for cluster id.
-func (t *Turbo) QueueOf(id int) int {
-	if id < 0 || id >= len(t.queueOf) {
-		return 0
-	}
-	return t.queueOf[id]
-}
-
-// rankMetric computes the configured maliciousness estimate.
-func (t *Turbo) rankMetric(info cluster.Info) float64 {
-	var m float64
-	switch t.cfg.Ranking {
-	case ByThroughput:
-		m = float64(info.Bytes)
-	case ByPacketRate:
-		m = float64(info.Packets)
-	case ByThroughputOverSize:
-		m = float64(info.Bytes) / (info.Size + 1)
-	case ByPacketRateOverSize:
-		m = float64(info.Packets) / (info.Size + 1)
-	}
-	return m
-}
-
-// controlLoop is the §5.2 scheduler: poll, rank, map, deploy.
-func (t *Turbo) controlLoop(now eventsim.Time) {
-	infos := t.clusterer.Snapshot()
-	t.clusterer.ResetStats()
-	if len(infos) == 0 {
-		return
-	}
-
-	ranks := make([]float64, len(t.queueOf))
-	order := make([]int, 0, len(infos))
-	for _, info := range infos {
-		ranks[info.ID] = t.rankMetric(info)
-		order = append(order, info.ID)
-	}
-	// Least suspicious first; ties keep lower cluster IDs first for
-	// determinism.
-	sort.SliceStable(order, func(i, j int) bool {
-		return ranks[order[i]] < ranks[order[j]]
-	})
-
-	newMap := make([]int, len(t.queueOf))
-	copy(newMap, t.queueOf)
-	n := len(order)
-	for pos, id := range order {
-		// Spread rank positions across the available queues: position
-		// 0 (least suspicious) -> queue 0, last -> queue NumQueues-1.
-		q := pos * t.cfg.NumQueues / n
-		if q >= t.cfg.NumQueues {
-			q = t.cfg.NumQueues - 1
-		}
-		newMap[id] = q
-	}
-
-	dec := &Decision{
-		At:         now,
-		DeployedAt: now + t.cfg.DeployDelay,
-		Clusters:   infos,
-		Rank:       ranks,
-		QueueOf:    newMap,
-	}
-	t.eng.After(t.cfg.DeployDelay, func(eventsim.Time) {
-		t.queueOf = newMap
-		t.Deployments++
-		t.LastDecision = dec
-	})
-}
+// QueueOf returns the live queue assignment for cluster id. Unknown or
+// out-of-range ids report the lowest-priority queue, matching the
+// classifier's defensive routing.
+func (t *Turbo) QueueOf(id int) int { return t.dp.QueueFor(id) }

@@ -323,8 +323,66 @@ func TestClassifyDirectQdiscUse(t *testing.T) {
 	if turbo.Clusterer().NumClusters() != 1 {
 		t.Fatal("direct enqueue did not cluster the packet")
 	}
-	if turbo.QueueOf(0) != 0 || turbo.QueueOf(99) != 0 {
-		t.Fatal("QueueOf defaults wrong")
+	if turbo.QueueOf(0) != 0 {
+		t.Fatal("known cluster should start at queue 0")
+	}
+}
+
+func TestUnknownClusterRoutesToLowestPriority(t *testing.T) {
+	// A cluster ID outside the controller's mapping must never land in
+	// queue 0 (the highest priority): a misrouted or corrupted ID would
+	// otherwise hand an attacker the best service class by default.
+	cfg := fourClusterConfig()
+	eng := eventsim.New()
+	turbo := New(eng, cfg)
+	lowest := turbo.Config().NumQueues - 1
+	for _, id := range []int{-1, 4, 99} {
+		if q := turbo.QueueOf(id); q != lowest {
+			t.Fatalf("QueueOf(%d) = %d, want lowest-priority queue %d", id, q, lowest)
+		}
+	}
+	if q := turbo.Dataplane().QueueFor(99); q != lowest {
+		t.Fatalf("QueueFor(99) = %d, want %d", q, lowest)
+	}
+}
+
+func TestDecisionSnapshotImmutable(t *testing.T) {
+	// Decision.Clusters must be a deep copy: observing more packets
+	// after the decision was formed may not change what the stored
+	// snapshot reports.
+	cfg := fourClusterConfig()
+	src := traffic.Merge(
+		traffic.NewCBR(0, 2*eventsim.Second, 3e6, benign(1).Factory(1)),
+		traffic.NewCBR(0, 2*eventsim.Second, 30e6, attack().Factory(2)),
+	)
+	_, turbo := runTurbo(cfg, src, 10e6, eventsim.Second)
+	dec := turbo.LastDecision
+	if dec == nil {
+		t.Fatal("no decision")
+	}
+	before := make([]cluster.Info, len(dec.Clusters))
+	for i, info := range dec.Clusters {
+		before[i] = info
+		before[i].Ranges = append([]cluster.Range(nil), info.Ranges...)
+	}
+	// Mutate the live clusterer heavily: new packets widen ranges and
+	// bump counters.
+	for i := 0; i < 1000; i++ {
+		p := &packet.Packet{
+			SrcIP: packet.V4(byte(i), byte(i>>8), 3, 4), DstIP: packet.V4(byte(i*7), 5, byte(i), 9),
+			Length: 900, Protocol: packet.ProtoUDP, SrcPort: uint16(i), DstPort: uint16(i * 3),
+		}
+		turbo.Dataplane().Assign(p)
+	}
+	for i, info := range dec.Clusters {
+		if info.Packets != before[i].Packets || info.Bytes != before[i].Bytes {
+			t.Fatalf("cluster %d counters mutated after the fact", info.ID)
+		}
+		for f, r := range info.Ranges {
+			if r != before[i].Ranges[f] {
+				t.Fatalf("cluster %d range %d mutated: %+v -> %+v", info.ID, f, before[i].Ranges[f], r)
+			}
+		}
 	}
 }
 

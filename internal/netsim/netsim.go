@@ -19,8 +19,10 @@ import (
 )
 
 // Ingress processes a packet before it reaches the output queue (rate
-// limiters, clustering stages). Returning false drops the packet at the
-// policer.
+// limiters, policers). Returning false drops the packet at the policer.
+// Stages that only need to observe-and-classify (ACC-Turbo's clustering)
+// belong in the qdisc's classifier instead, where the assignment and the
+// queue choice happen in one explicit step.
 type Ingress func(now eventsim.Time, p *packet.Packet) bool
 
 // Port is an output port: an ingress pipeline, a queueing discipline,

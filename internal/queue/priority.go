@@ -10,8 +10,14 @@ import (
 // Classifier maps a packet to a priority-queue index. Queue 0 has the
 // highest priority; larger indexes drain only when all smaller ones are
 // empty (strict priority). ACC-Turbo's data plane supplies a classifier
-// that looks up the packet's cluster and the controller-installed
-// cluster-to-queue mapping.
+// that assigns the packet to its cluster and looks the cluster up in the
+// controller-installed cluster-to-queue mapping (core.Dataplane.Classify).
+//
+// Contract: the classifier should return an index in [0, n). The
+// scheduler clamps out-of-range returns rather than dropping, but a
+// classifier must not rely on that as routing policy — when a lookup has
+// no answer (unknown cluster, stale mapping) it should fail closed to
+// the lowest-priority queue itself, never default to queue 0.
 type Classifier func(now eventsim.Time, p *packet.Packet) int
 
 // Priority is a strict-priority scheduler over n tail-drop FIFO queues,
