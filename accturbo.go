@@ -21,6 +21,7 @@
 package accturbo
 
 import (
+	"io"
 	"time"
 
 	"accturbo/internal/cluster"
@@ -28,6 +29,7 @@ import (
 	"accturbo/internal/eventsim"
 	"accturbo/internal/experiments"
 	"accturbo/internal/packet"
+	"accturbo/internal/telemetry"
 )
 
 // Re-exported packet vocabulary, so Defense users need no internal
@@ -45,6 +47,9 @@ type (
 	ClusterInfo = cluster.Info
 	// Decision is one control-loop outcome (rank + queue map).
 	Decision = core.Decision
+	// HistogramSnapshot is a copy-on-read histogram state (see
+	// Metrics.DeployLatencyNs).
+	HistogramSnapshot = telemetry.HistogramSnapshot
 )
 
 // Re-exported feature constants (the subsets the paper deploys).
@@ -131,6 +136,15 @@ type Defense struct {
 	cp    *core.ControlPlane
 	eng   *eventsim.Engine // deterministic mode (nil in real-time mode)
 	clock *core.WallClock  // real-time mode (nil in deterministic mode)
+	reg   *telemetry.Registry
+}
+
+// describe wires the pipeline's instruments into the defense registry.
+func (d *Defense) describe() {
+	d.reg = telemetry.NewRegistry()
+	d.reg.CounterFunc("accturbo_packets_observed", d.dp.Observed)
+	d.dp.Describe(d.reg, "accturbo_dataplane")
+	d.cp.Describe(d.reg, "accturbo_controlplane")
 }
 
 // NewDefense builds a pipeline from cfg. With cfg.Shards <= 1 it is the
@@ -149,6 +163,7 @@ func NewDefense(cfg Config) *Defense {
 		dp:  core.NewDataplane(cfg, false),
 	}
 	d.cp = core.NewControlPlane(d.dp, core.SimClock{Eng: eng}, cfg)
+	d.describe()
 	d.cp.Start()
 	return d
 }
@@ -166,6 +181,7 @@ func NewRealTimeDefense(cfg Config) *Defense {
 		dp:    core.NewDataplane(cfg, true),
 	}
 	d.cp = core.NewControlPlane(d.dp, clock, cfg)
+	d.describe()
 	d.cp.Start()
 	return d
 }
@@ -239,6 +255,50 @@ func (d *Defense) LastDecision() *Decision { return d.cp.LastDecision() }
 // out-of-range IDs report the lowest-priority queue, matching the
 // data-plane classifier.
 func (d *Defense) QueueOf(clusterID int) int { return d.dp.QueueOf(clusterID) }
+
+// RecentDecisions returns up to n of the most recently deployed
+// control-loop decisions, newest first (the control plane keeps the
+// last 64). Together with Clusters it answers "what did the controller
+// see and decide just before the incident".
+func (d *Defense) RecentDecisions(n int) []*Decision { return d.cp.Recent(n) }
+
+// Metrics is a point-in-time snapshot of the pipeline's telemetry. All
+// slices and the histogram are copies owned by the caller.
+type Metrics struct {
+	// PacketsObserved counts packets processed across all shards.
+	PacketsObserved uint64
+	// Deployments counts cluster→queue mappings installed.
+	Deployments uint64
+	// AssignedPkts counts packets per cluster slot, summed over shards.
+	AssignedPkts []uint64
+	// RoutedPkts counts packets per strict-priority queue (index 0 is
+	// the highest priority).
+	RoutedPkts []uint64
+	// DeployLatencyNs is the poll→deploy latency distribution in
+	// nanoseconds. Under the deterministic clock every observation is
+	// exactly Config.DeployDelay; on the wall clock it includes real
+	// scheduler jitter.
+	DeployLatencyNs HistogramSnapshot
+}
+
+// Metrics snapshots the pipeline's telemetry. Safe to call from any
+// goroutine, concurrently with Process; counters are read lock-free and
+// may trail packets still in flight.
+func (d *Defense) Metrics() Metrics {
+	return Metrics{
+		PacketsObserved: d.dp.Observed(),
+		Deployments:     d.cp.Deployments(),
+		AssignedPkts:    d.dp.AssignedCounts(),
+		RoutedPkts:      d.dp.RoutedCounts(),
+		DeployLatencyNs: d.cp.DeployLatency(),
+	}
+}
+
+// WriteMetrics writes every registered instrument in the
+// expvar/Prometheus-style text exposition (`# TYPE` lines, cumulative
+// histogram buckets). This is the payload accturbo-defend serves on
+// -metrics-addr.
+func (d *Defense) WriteMetrics(w io.Writer) error { return d.reg.WriteText(w) }
 
 // NumQueues returns the number of strict-priority queues (queue
 // NumQueues-1 is the lowest priority).

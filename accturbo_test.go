@@ -1,6 +1,7 @@
 package accturbo
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -75,6 +76,66 @@ func TestDefenseVerdictDistance(t *testing.T) {
 	v2 := d.Process(time.Millisecond, floodPacket())
 	if v2.NewCluster || v2.Distance != 0 {
 		t.Fatalf("identical packet should be covered: %+v", v2)
+	}
+}
+
+func TestDefenseMetrics(t *testing.T) {
+	cfg := HardwareConfig()
+	cfg.Clustering.SliceInit = true
+	cfg.PollInterval = FromDuration(100 * time.Millisecond)
+	cfg.DeployDelay = FromDuration(10 * time.Millisecond)
+	d := NewDefense(cfg)
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		d.Process(time.Duration(i)*time.Millisecond, benignPacket(i))
+	}
+
+	m := d.Metrics()
+	if m.PacketsObserved != n {
+		t.Fatalf("observed %d, want %d", m.PacketsObserved, n)
+	}
+	if m.Deployments == 0 || m.Deployments != d.Deployments() {
+		t.Fatalf("deployments %d (accessor %d)", m.Deployments, d.Deployments())
+	}
+	var assigned, routed uint64
+	for _, c := range m.AssignedPkts {
+		assigned += c
+	}
+	for _, c := range m.RoutedPkts {
+		routed += c
+	}
+	if assigned != n || routed != n {
+		t.Fatalf("assigned %d routed %d, want %d each", assigned, routed, n)
+	}
+	// Deterministic clock: every deployment observed exactly DeployDelay.
+	if m.DeployLatencyNs.Count != m.Deployments {
+		t.Fatalf("latency count %d, want %d", m.DeployLatencyNs.Count, m.Deployments)
+	}
+	if m.DeployLatencyNs.Max != int64(cfg.DeployDelay) {
+		t.Fatalf("latency max %d, want %d", m.DeployLatencyNs.Max, int64(cfg.DeployDelay))
+	}
+	if recent := d.RecentDecisions(4); len(recent) == 0 || recent[0] != d.LastDecision() {
+		t.Fatalf("RecentDecisions inconsistent with LastDecision: %d entries", len(recent))
+	}
+
+	var buf strings.Builder
+	if err := d.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE accturbo_packets_observed counter",
+		"accturbo_packets_observed 500",
+		"accturbo_dataplane_assigned_pkts_0",
+		"accturbo_dataplane_routed_pkts_0",
+		"accturbo_controlplane_deployments",
+		"accturbo_controlplane_deploy_latency_ns_bucket{le=\"+Inf\"}",
+		"accturbo_controlplane_deploy_latency_ns_count",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
 	}
 }
 

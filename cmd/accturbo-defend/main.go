@@ -21,11 +21,14 @@
 //	accturbo-defend -in day.pcap                    # aggregate report
 //	accturbo-defend -in day.pcap -verdicts out.csv  # per-packet verdicts
 //	accturbo-defend -in day.pcap -realtime -shards 4
+//	accturbo-defend -in day.pcap -realtime -metrics-addr :9100
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
@@ -51,6 +54,7 @@ func main() {
 	realtime := flag.Bool("realtime", false, "run the wall-clock pipeline instead of deterministic replay")
 	shards := flag.Int("shards", 1, "data-plane clustering shards (> 1 implies -realtime)")
 	ingest := flag.Int("ingest", runtime.GOMAXPROCS(0), "ingest goroutines in real-time mode")
+	metricsAddr := flag.String("metrics-addr", "", "serve the telemetry text exposition on this address (e.g. :9100) while processing")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "missing -in capture")
@@ -90,6 +94,25 @@ func main() {
 		d = accturbo.NewDefense(cfg)
 	}
 	defer d.Close()
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := d.WriteMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	var vf *os.File
 	if *verdictsOut != "" {

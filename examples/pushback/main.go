@@ -77,6 +77,6 @@ func run(withPushback bool) float64 {
 	netsim.Replay(eng, mkBenign(2), edges[1])
 	eng.RunUntil(duration)
 
-	offered := edgeRecs[0].ArrivedBenign + edgeRecs[1].ArrivedBenign
-	return 100 * (1 - float64(coreRec.DeliveredBenignPkts)/float64(offered))
+	offered := edgeRecs[0].ArrivedBenign() + edgeRecs[1].ArrivedBenign()
+	return 100 * (1 - float64(coreRec.DeliveredBenignPkts())/float64(offered))
 }

@@ -92,4 +92,18 @@ func main() {
 	if fv.Queue > 0 {
 		fmt.Println("=> demoted on the wall clock, while ingest was running concurrently")
 	}
+
+	// The telemetry snapshot: per-queue routing counts show how much
+	// traffic each priority level absorbed, and the latency histogram
+	// shows the controller's real poll→deploy jitter.
+	m := d.Metrics()
+	fmt.Println("\ntelemetry snapshot:")
+	fmt.Printf("observed %d pkts, %d deployments\n", m.PacketsObserved, m.Deployments)
+	for q, n := range m.RoutedPkts {
+		fmt.Printf("queue %d routed %8d pkts\n", q, n)
+	}
+	if m.DeployLatencyNs.Count > 0 {
+		fmt.Printf("poll->deploy latency: mean %.2f ms, max %.2f ms over %d deployments\n",
+			m.DeployLatencyNs.Mean()/1e6, float64(m.DeployLatencyNs.Max)/1e6, m.DeployLatencyNs.Count)
+	}
 }

@@ -61,11 +61,11 @@ func pushbackTopology(t *testing.T, withPushback bool) float64 {
 	netsim.Replay(eng, mkBenign(2), u2)
 	eng.RunUntil(40 * eventsim.Second)
 
-	offered := rec1.ArrivedBenign + rec2.ArrivedBenign
+	offered := rec1.ArrivedBenign() + rec2.ArrivedBenign()
 	if offered == 0 {
 		t.Fatal("no benign traffic offered")
 	}
-	delivered := rec.DeliveredBenignPkts
+	delivered := rec.DeliveredBenignPkts()
 	return 100 * (1 - float64(delivered)/float64(offered))
 }
 

@@ -1,11 +1,13 @@
 package core
 
 import (
-	"accturbo/internal/cluster"
-	"accturbo/internal/eventsim"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"accturbo/internal/cluster"
+	"accturbo/internal/eventsim"
+	"accturbo/internal/telemetry"
 )
 
 // ControlPlane is the periodic half of ACC-Turbo (§5.2): every
@@ -24,13 +26,30 @@ type ControlPlane struct {
 	stops   []func()
 	started bool
 
-	deployments atomic.Uint64
+	deployments telemetry.Counter
 	lastDec     atomic.Pointer[Decision]
+
+	// deployLatency observes the poll→deploy latency of every deployed
+	// decision: the span from Step computing the mapping to the clock
+	// callback installing it. Under SimClock this is exactly DeployDelay;
+	// under WallClock it adds real scheduler jitter.
+	deployLatency *telemetry.Histogram
+
+	// history is a ring of the most recent deployed decisions, kept for
+	// post-hoc interpretability (§10): Recent answers "what did the
+	// controller see and decide just before the incident".
+	histMu  sync.Mutex
+	history [deployHistory]*Decision
+	histLen int
+	histPos int
 
 	// OnDeploy, when set, observes every deployed decision. It runs on
 	// the clock's callback context. Set it before Start.
 	OnDeploy func(dec *Decision)
 }
+
+// deployHistory is the capacity of the deployed-decision ring buffer.
+const deployHistory = 64
 
 // NewControlPlane builds a control plane over the given data plane and
 // clock. It panics on an invalid configuration.
@@ -39,7 +58,12 @@ func NewControlPlane(dp *Dataplane, clock Clock, cfg Config) *ControlPlane {
 		panic(err)
 	}
 	cfg = cfg.withDefaults()
-	return &ControlPlane{cfg: cfg, dp: dp, clock: clock}
+	return &ControlPlane{
+		cfg:           cfg,
+		dp:            dp,
+		clock:         clock,
+		deployLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()),
+	}
 }
 
 // Start schedules the polling loop (and the reseed loop when
@@ -64,7 +88,35 @@ func (cp *ControlPlane) Stop() {
 }
 
 // Deployments returns the number of mappings pushed to the data plane.
-func (cp *ControlPlane) Deployments() uint64 { return cp.deployments.Load() }
+func (cp *ControlPlane) Deployments() uint64 { return cp.deployments.Value() }
+
+// DeployLatency returns the poll→deploy latency distribution of all
+// deployments so far (nanoseconds).
+func (cp *ControlPlane) DeployLatency() telemetry.HistogramSnapshot {
+	return cp.deployLatency.Snapshot()
+}
+
+// Recent returns up to n of the most recently deployed decisions,
+// newest first. The ring keeps the last deployHistory (64) deployments.
+func (cp *ControlPlane) Recent(n int) []*Decision {
+	cp.histMu.Lock()
+	defer cp.histMu.Unlock()
+	if n > cp.histLen {
+		n = cp.histLen
+	}
+	out := make([]*Decision, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cp.history[(cp.histPos-1-i+2*deployHistory)%deployHistory])
+	}
+	return out
+}
+
+// Describe registers the control plane's instruments on a telemetry
+// registry under the given name prefix.
+func (cp *ControlPlane) Describe(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"_deployments", &cp.deployments)
+	reg.Histogram(prefix+"_deploy_latency_ns", cp.deployLatency)
+}
 
 // LastDecision returns the most recent deployed decision (nil before
 // the first deployment). The returned Decision and its Clusters
@@ -136,10 +188,18 @@ func (cp *ControlPlane) Step(now eventsim.Time) *Decision {
 		Rank:       ranks,
 		QueueOf:    newMap,
 	}
-	cp.clock.After(cp.cfg.DeployDelay, func(eventsim.Time) {
+	cp.clock.After(cp.cfg.DeployDelay, func(t eventsim.Time) {
 		cp.dp.Deploy(newMap)
-		cp.deployments.Add(1)
+		cp.deployments.Inc()
+		cp.deployLatency.ObserveSince(dec.At, t)
 		cp.lastDec.Store(dec)
+		cp.histMu.Lock()
+		cp.history[cp.histPos] = dec
+		cp.histPos = (cp.histPos + 1) % deployHistory
+		if cp.histLen < deployHistory {
+			cp.histLen++
+		}
+		cp.histMu.Unlock()
 		if cp.OnDeploy != nil {
 			cp.OnDeploy(dec)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"accturbo/internal/cluster"
 	"accturbo/internal/packet"
+	"accturbo/internal/telemetry"
 )
 
 // Dataplane is the per-packet half of ACC-Turbo: feature extraction →
@@ -38,6 +39,27 @@ type Dataplane struct {
 	// control plane. Readers load it atomically; Deploy swaps it whole,
 	// so a packet sees either the old or the new mapping, never a mix.
 	queueMap atomic.Pointer[[]int]
+
+	// assigned counts packets per cluster slot, routed counts packets
+	// per priority queue. Both are stripe-padded so concurrent writers
+	// rarely share a cache line: each shard owns countStripes stripes
+	// and a packet picks one by a cheap header hint, which also spreads
+	// the multiple ingest goroutines feeding one shard. Reads aggregate
+	// across all stripes lock-free.
+	assigned *telemetry.VecCounter
+	routed   *telemetry.VecCounter
+}
+
+// countStripes is the number of counter stripes per shard. Power of
+// two; the stripe hint masks against it.
+const countStripes = 8
+
+// stripeOf picks the counter stripe for a packet on shard si: the
+// shard's stripe block, sub-striped by the source port's low bits so
+// concurrent writers to one shard spread across cache lines. Any value
+// is correct — stripes only partition the same aggregated total.
+func stripeOf(si int, p *packet.Packet) int {
+	return si*countStripes + int(p.SrcPort)&(countStripes-1)
 }
 
 // shard is one independent clustering pipeline. The mutex is only taken
@@ -62,7 +84,12 @@ func NewDataplane(cfg Config, concurrent bool) *Dataplane {
 	if n < 1 {
 		n = 1
 	}
-	d := &Dataplane{cfg: cfg, concurrent: concurrent}
+	d := &Dataplane{
+		cfg:        cfg,
+		concurrent: concurrent,
+		assigned:   telemetry.NewVecCounter(cfg.Clustering.MaxClusters, n*countStripes),
+		routed:     telemetry.NewVecCounter(cfg.NumQueues, n*countStripes),
+	}
 	for i := 0; i < n; i++ {
 		d.shards = append(d.shards, &shard{clusterer: cluster.NewOnline(cfg.Clustering)})
 	}
@@ -119,13 +146,22 @@ func flowHash(p *packet.Packet) uint32 {
 // QueueFor (or Classify does both). There is no implicit carry-over
 // between calls.
 func (d *Dataplane) Assign(p *packet.Packet) cluster.Assignment {
-	s := d.shards[d.ShardOf(p)]
+	return d.assignOn(d.ShardOf(p), p)
+}
+
+// assignOn runs the clustering stage on a known shard, counting the
+// assignment on one of the shard's telemetry stripes.
+func (d *Dataplane) assignOn(si int, p *packet.Packet) cluster.Assignment {
+	s := d.shards[si]
+	var a cluster.Assignment
 	if !d.concurrent {
-		return s.clusterer.Observe(p)
+		a = s.clusterer.Observe(p)
+	} else {
+		s.mu.Lock()
+		a = s.clusterer.Observe(p)
+		s.mu.Unlock()
 	}
-	s.mu.Lock()
-	a := s.clusterer.Observe(p)
-	s.mu.Unlock()
+	d.assigned.Add(stripeOf(si, p), a.Cluster, 1)
 	return a
 }
 
@@ -143,10 +179,30 @@ func (d *Dataplane) QueueFor(clusterID int) int {
 }
 
 // Classify is the full per-packet data-plane step: assign, then look up
-// the queue under the live mapping.
+// the queue under the live mapping. The queue choice is counted on the
+// shard's routing stripe (RoutedCounts).
 func (d *Dataplane) Classify(p *packet.Packet) (cluster.Assignment, int) {
-	a := d.Assign(p)
-	return a, d.QueueFor(a.Cluster)
+	si := d.ShardOf(p)
+	a := d.assignOn(si, p)
+	q := d.QueueFor(a.Cluster)
+	d.routed.Add(stripeOf(si, p), q, 1)
+	return a, q
+}
+
+// AssignedCounts returns the per-cluster-slot assignment totals since
+// construction, aggregated across shards. Safe to call concurrently
+// with packet processing (values may trail in-flight packets).
+func (d *Dataplane) AssignedCounts() []uint64 { return d.assigned.Values() }
+
+// RoutedCounts returns the per-priority-queue routing totals counted by
+// Classify, aggregated across shards.
+func (d *Dataplane) RoutedCounts() []uint64 { return d.routed.Values() }
+
+// Describe registers the data plane's per-slot and per-queue counters
+// on a telemetry registry under the given name prefix.
+func (d *Dataplane) Describe(reg *telemetry.Registry, prefix string) {
+	reg.Vec(prefix+"_assigned_pkts", d.assigned)
+	reg.Vec(prefix+"_routed_pkts", d.routed)
 }
 
 // Observed returns the total number of packets observed across all

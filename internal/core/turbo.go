@@ -250,11 +250,11 @@ func (t *Turbo) Config() Config { return t.cfg }
 // the classifier works identically whether the packet arrived through a
 // port or was enqueued directly.
 func (t *Turbo) classify(now eventsim.Time, p *packet.Packet) int {
-	a := t.dp.Assign(p)
+	a, q := t.dp.Classify(p)
 	if t.OnAssign != nil {
 		t.OnAssign(now, p, a)
 	}
-	return t.dp.QueueFor(a.Cluster)
+	return q
 }
 
 // QueueOf returns the live queue assignment for cluster id. Unknown or

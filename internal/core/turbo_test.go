@@ -142,10 +142,10 @@ func TestTurboTransparentWithoutCongestion(t *testing.T) {
 		traffic.NewCBR(0, 10*eventsim.Second, 2e6, benign(2).Factory(2)),
 	)
 	rec, _ := runTurbo(cfg, src, 10e6, 12*eventsim.Second)
-	if rec.DroppedBenign != 0 {
-		t.Fatalf("ACC-Turbo dropped %d packets without congestion", rec.DroppedBenign)
+	if rec.DroppedBenign() != 0 {
+		t.Fatalf("ACC-Turbo dropped %d packets without congestion", rec.DroppedBenign())
 	}
-	if rec.DeliveredBenignPkts != rec.ArrivedBenign {
+	if rec.DeliveredBenignPkts() != rec.ArrivedBenign() {
 		t.Fatal("not all packets delivered under no congestion")
 	}
 }

@@ -92,10 +92,10 @@ func Ablations(opt Options) *Result {
 	// delivered packets that overtook a same-flow predecessor.
 	cfg := hwTurboConfig()
 	tr := runTurbo(newSrc(), link, end, cfg)
-	totalDelivered := tr.rec.DeliveredBenignPkts + tr.rec.DeliveredMaliciousPkts
+	totalDelivered := tr.rec.DeliveredBenignPkts() + tr.rec.DeliveredMaliciousPkts()
 	reorderPct := 0.0
 	if totalDelivered > 0 {
-		reorderPct = 100 * float64(tr.rec.Reordered) / float64(totalDelivered)
+		reorderPct = 100 * float64(tr.rec.Reordered()) / float64(totalDelivered)
 	}
 	r.Add(Series{Name: "Reordered delivered packets (%)", Y: []float64{reorderPct}})
 	r.Note("reordering: %.3f%% of delivered packets overtook a same-flow predecessor "+

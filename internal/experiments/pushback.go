@@ -72,10 +72,10 @@ func PushbackExperiment(opt Options) *Result {
 		netsim.Replay(eng, mkBenign(2), u2)
 		eng.RunUntil(end)
 
-		offered := rec1.ArrivedBenign + rec2.ArrivedBenign
-		benignLoss := 100 * (1 - float64(rec.DeliveredBenignPkts)/float64(offered))
-		offeredM := rec1.ArrivedMalicious + rec2.ArrivedMalicious
-		attackLoss := 100 * (1 - float64(rec.DeliveredMaliciousPkts)/float64(offeredM))
+		offered := rec1.ArrivedBenign() + rec2.ArrivedBenign()
+		benignLoss := 100 * (1 - float64(rec.DeliveredBenignPkts())/float64(offered))
+		offeredM := rec1.ArrivedMalicious() + rec2.ArrivedMalicious()
+		attackLoss := 100 * (1 - float64(rec.DeliveredMaliciousPkts())/float64(offeredM))
 		var props uint64
 		if pb != nil {
 			props = pb.Propagations

@@ -24,6 +24,7 @@ import (
 	"accturbo/internal/packet"
 	"accturbo/internal/queue"
 	"accturbo/internal/sketch"
+	"accturbo/internal/telemetry"
 )
 
 // Key selects the sketch signature.
@@ -132,8 +133,16 @@ type Jaqen struct {
 	// FirstMitigation is when the first drop rule became active (-1
 	// before any).
 	FirstMitigation eventsim.Time
-	// RulesInstalled counts installed drop rules.
-	RulesInstalled uint64
+
+	// Mitigation accounting on the shared telemetry substrate: how many
+	// packets the defense admitted versus dropped, split by cause (an
+	// installed rule, a policer rule's rate limit, or the total blackout
+	// while the switch reprograms).
+	admitted       telemetry.Counter
+	ruleDrops      telemetry.Counter
+	policerDrops   telemetry.Counter
+	downtimeDrops  telemetry.Counter
+	rulesInstalled telemetry.Counter
 }
 
 // Attach wires Jaqen into the port's ingress pipeline and schedules its
@@ -186,6 +195,7 @@ func (j *Jaqen) key(p *packet.Packet) uint64 {
 func (j *Jaqen) admit(now eventsim.Time, p *packet.Packet) bool {
 	if j.reprogramming {
 		if now < j.reprogramDone {
+			j.downtimeDrops.Inc()
 			return false // total downtime during program swap
 		}
 		j.reprogramming = false
@@ -193,14 +203,21 @@ func (j *Jaqen) admit(now eventsim.Time, p *packet.Packet) bool {
 	k := j.key(p)
 	if rl, ok := j.rules[k]; ok {
 		if rl.bucket == nil {
+			j.ruleDrops.Inc()
 			return false // drop rule
 		}
-		return rl.bucket.Allow(now, p.Size())
+		if !rl.bucket.Allow(now, p.Size()) {
+			j.policerDrops.Inc()
+			return false
+		}
+		j.admitted.Inc()
+		return true
 	}
 	est := j.cm.Add(k, 1)
 	if est > j.cfg.Threshold {
 		j.flagged[k] = true
 	}
+	j.admitted.Inc()
 	return true
 }
 
@@ -239,7 +256,7 @@ func (j *Jaqen) mitigate(now eventsim.Time, k uint64) {
 		if j.FirstMitigation < 0 {
 			j.FirstMitigation = at
 		}
-		j.RulesInstalled++
+		j.rulesInstalled.Inc()
 	}
 	if j.cfg.DefenseDeployed {
 		j.eng.After(j.cfg.RuleInstallDelay, func(t eventsim.Time) { activate(t) })
@@ -257,3 +274,28 @@ func (j *Jaqen) mitigate(now eventsim.Time, k uint64) {
 
 // Rules returns the number of active drop rules.
 func (j *Jaqen) Rules() int { return len(j.rules) }
+
+// RulesInstalled counts drop rules that became active (post-delay).
+func (j *Jaqen) RulesInstalled() uint64 { return j.rulesInstalled.Value() }
+
+// Admitted counts packets the defense let through.
+func (j *Jaqen) Admitted() uint64 { return j.admitted.Value() }
+
+// RuleDrops counts packets dropped by an installed drop rule.
+func (j *Jaqen) RuleDrops() uint64 { return j.ruleDrops.Value() }
+
+// PolicerDrops counts packets denied by a rate-limit rule's bucket.
+func (j *Jaqen) PolicerDrops() uint64 { return j.policerDrops.Value() }
+
+// DowntimeDrops counts packets lost to reprogramming blackout.
+func (j *Jaqen) DowntimeDrops() uint64 { return j.downtimeDrops.Value() }
+
+// Describe registers the mitigation accounting on a telemetry registry
+// under the given name prefix.
+func (j *Jaqen) Describe(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"_admitted_pkts", &j.admitted)
+	reg.Counter(prefix+"_rule_dropped_pkts", &j.ruleDrops)
+	reg.Counter(prefix+"_policer_dropped_pkts", &j.policerDrops)
+	reg.Counter(prefix+"_downtime_dropped_pkts", &j.downtimeDrops)
+	reg.Counter(prefix+"_rules_installed", &j.rulesInstalled)
+}

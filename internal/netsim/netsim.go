@@ -7,6 +7,14 @@
 // a switch whose output link is the bottleneck — so the substrate
 // models that port precisely (line-rate serialization, qdisc-governed
 // buffering) rather than a general topology.
+//
+// Accounting is layered on the shared telemetry substrate
+// (internal/telemetry): every port wires a telemetry.QueueStats into
+// its qdisc and meters offered/delivered rates, and the Recorder —
+// which adds the ground-truth attribution (benign vs malicious) the
+// experiment series need — is an Accounting implementation whose
+// totals are telemetry counters. Ports never branch on nil accounting:
+// a port without a recorder runs the package no-op.
 package netsim
 
 import (
@@ -15,6 +23,7 @@ import (
 	"accturbo/internal/eventsim"
 	"accturbo/internal/packet"
 	"accturbo/internal/queue"
+	"accturbo/internal/telemetry"
 	"accturbo/internal/traffic"
 )
 
@@ -25,6 +34,29 @@ import (
 // queue choice happen in one explicit step.
 type Ingress func(now eventsim.Time, p *packet.Packet) bool
 
+// Accounting observes every port-level packet event with access to the
+// packet itself (for label/flow attribution). The Recorder is the
+// standard implementation; ports without one run a no-op, so the hot
+// path never tests for nil.
+type Accounting interface {
+	// Arrival observes a packet offered to the port, before ingress.
+	Arrival(now eventsim.Time, p *packet.Packet)
+	// Delivered observes a packet that finished serialization.
+	Delivered(now eventsim.Time, p *packet.Packet)
+	// Dropped observes a packet rejected anywhere in the port.
+	Dropped(now eventsim.Time, p *packet.Packet, reason queue.DropReason)
+}
+
+// nopAccounting ignores all events.
+type nopAccounting struct{}
+
+func (nopAccounting) Arrival(eventsim.Time, *packet.Packet)                   {}
+func (nopAccounting) Delivered(eventsim.Time, *packet.Packet)                 {}
+func (nopAccounting) Dropped(eventsim.Time, *packet.Packet, queue.DropReason) {}
+
+// noAccounting is the package-level no-op every unrecorded port shares.
+var noAccounting Accounting = nopAccounting{}
+
 // Port is an output port: an ingress pipeline, a queueing discipline,
 // and a transmitter draining it at a fixed line rate.
 type Port struct {
@@ -32,8 +64,15 @@ type Port struct {
 	qdisc   queue.Qdisc
 	rate    float64 // bits per nanosecond... stored as bits/sec
 	ingress []Ingress
-	rec     *Recorder
+	acct    Accounting // never nil; see Accounting
 	busy    bool
+
+	// stats is the label-agnostic queue accounting wired into the
+	// qdisc's telemetry sink; offered/delivered meter the port's load
+	// and goodput per second of the port's timeline.
+	stats     *telemetry.QueueStats
+	offered   *telemetry.RateMeter
+	delivered *telemetry.RateMeter
 
 	// Delivered is invoked for every packet that finishes
 	// serialization (the sink side), after recording.
@@ -45,7 +84,8 @@ type Port struct {
 }
 
 // NewPort builds a port transmitting at rateBits over the given qdisc.
-// The recorder may be nil when no accounting is needed.
+// The recorder may be nil when no attribution is needed; telemetry
+// accounting (Telemetry, OfferedRate, DeliveredRate) runs either way.
 func NewPort(eng *eventsim.Engine, q queue.Qdisc, rateBits float64, rec *Recorder) *Port {
 	if rateBits <= 0 {
 		panic(fmt.Sprintf("netsim: port rate %v must be positive", rateBits))
@@ -53,15 +93,31 @@ func NewPort(eng *eventsim.Engine, q queue.Qdisc, rateBits float64, rec *Recorde
 	if q == nil {
 		panic("netsim: nil qdisc")
 	}
-	p := &Port{eng: eng, qdisc: q, rate: rateBits, rec: rec}
+	p := &Port{
+		eng:       eng,
+		qdisc:     q,
+		rate:      rateBits,
+		acct:      noAccounting,
+		stats:     telemetry.NewQueueStats(eventsim.Second),
+		offered:   telemetry.NewRateMeter(eventsim.Second),
+		delivered: telemetry.NewRateMeter(eventsim.Second),
+	}
+	if rec != nil {
+		p.acct = rec
+	}
+	// Wire the shared queue accounting into the discipline. Every qdisc
+	// in internal/queue is Instrumented (compile-time checked there);
+	// the assertion keeps foreign test disciplines usable.
+	if iq, ok := q.(queue.Instrumented); ok {
+		iq.SetSink(p.stats)
+	}
 	// Report every qdisc-level drop (tail, early, push-out) to the
-	// recorder and the Dropped hook, whatever the discipline.
-	type dropHook interface{ OnDrop(queue.DropFunc) }
-	if dh, ok := q.(dropHook); ok {
+	// accounting and the Dropped hook, whatever the discipline. All
+	// package disciplines implement queue.DropNotifier; a custom qdisc
+	// that does not will simply not feed drop attribution.
+	if dh, ok := q.(queue.DropNotifier); ok {
 		dh.OnDrop(func(now eventsim.Time, pkt *packet.Packet, reason queue.DropReason) {
-			if p.rec != nil {
-				p.rec.Dropped(now, pkt, reason)
-			}
+			p.acct.Dropped(now, pkt, reason)
 			if p.Dropped != nil {
 				p.Dropped(now, pkt)
 			}
@@ -76,6 +132,19 @@ func (p *Port) RateBits() float64 { return p.rate }
 // Qdisc returns the attached discipline.
 func (p *Port) Qdisc() queue.Qdisc { return p.qdisc }
 
+// Telemetry returns the port's queue accounting: enqueue/dequeue/drop
+// counters, depth gauges and the drain-rate meter fed by the qdisc,
+// plus policer drops recorded by the port itself.
+func (p *Port) Telemetry() *telemetry.QueueStats { return p.stats }
+
+// OfferedRate returns the last completed one-second window of offered
+// load (packets injected, pre-policer).
+func (p *Port) OfferedRate() telemetry.RateSnapshot { return p.offered.Snapshot() }
+
+// DeliveredRate returns the last completed one-second window of
+// delivered throughput.
+func (p *Port) DeliveredRate() telemetry.RateSnapshot { return p.delivered.Snapshot() }
+
 // AddIngress appends a stage to the ingress pipeline; stages run in
 // registration order.
 func (p *Port) AddIngress(f Ingress) {
@@ -87,14 +156,12 @@ func (p *Port) AddIngress(f Ingress) {
 
 // Inject offers a packet to the port at the current virtual time.
 func (p *Port) Inject(now eventsim.Time, pkt *packet.Packet) {
-	if p.rec != nil {
-		p.rec.Arrival(now, pkt)
-	}
+	p.acct.Arrival(now, pkt)
+	p.offered.Observe(now, 1, uint64(pkt.Size()))
 	for _, stage := range p.ingress {
 		if !stage(now, pkt) {
-			if p.rec != nil {
-				p.rec.Dropped(now, pkt, queue.DropPolicer)
-			}
+			p.stats.RecordDrop(now, pkt.Size(), uint8(queue.DropPolicer))
+			p.acct.Dropped(now, pkt, queue.DropPolicer)
 			if p.Dropped != nil {
 				p.Dropped(now, pkt)
 			}
@@ -102,8 +169,7 @@ func (p *Port) Inject(now eventsim.Time, pkt *packet.Packet) {
 		}
 	}
 	if p.qdisc.Enqueue(now, pkt) != queue.DropNone {
-		// Drop already recorded via the qdisc hook (or ignored when no
-		// recorder is attached).
+		// Drop already recorded via the qdisc's sink and drop hook.
 		return
 	}
 	p.pump(now)
@@ -125,9 +191,8 @@ func (p *Port) pump(now eventsim.Time) {
 	}
 	p.eng.After(txTime, func(t eventsim.Time) {
 		p.busy = false
-		if p.rec != nil {
-			p.rec.Delivered(t, pkt)
-		}
+		p.delivered.Observe(t, 1, uint64(pkt.Size()))
+		p.acct.Delivered(t, pkt)
 		if p.Delivered != nil {
 			p.Delivered(t, pkt)
 		}

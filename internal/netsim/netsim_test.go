@@ -34,14 +34,14 @@ func TestPortDeliversAtLineRate(t *testing.T) {
 			t.Fatalf("bin %d delivered %v bps, want ~10e6", i, out[i])
 		}
 	}
-	if rec.DroppedBenign == 0 {
+	if rec.DroppedBenign() == 0 {
 		t.Fatal("overload must drop packets")
 	}
 	// Conservation: arrived = delivered + dropped + still queued.
 	queued := uint64(port.Qdisc().Len())
-	if rec.ArrivedBenign != rec.DeliveredBenignPkts+rec.DroppedBenign+queued {
+	if rec.ArrivedBenign() != rec.DeliveredBenignPkts()+rec.DroppedBenign()+queued {
 		t.Fatalf("conservation violated: %d != %d + %d + %d",
-			rec.ArrivedBenign, rec.DeliveredBenignPkts, rec.DroppedBenign, queued)
+			rec.ArrivedBenign(), rec.DeliveredBenignPkts(), rec.DroppedBenign(), queued)
 	}
 }
 
@@ -51,11 +51,11 @@ func TestPortUnderloadDeliversEverything(t *testing.T) {
 	port := NewPort(eng, queue.NewFIFO(100_000), 10e6, rec)
 	Replay(eng, cbr(0, 2*eventsim.Second, 5e6, packet.Benign, 1), port)
 	eng.Run()
-	if rec.DroppedBenign != 0 {
-		t.Fatalf("underload dropped %d packets", rec.DroppedBenign)
+	if rec.DroppedBenign() != 0 {
+		t.Fatalf("underload dropped %d packets", rec.DroppedBenign())
 	}
-	if rec.DeliveredBenignPkts != rec.ArrivedBenign {
-		t.Fatalf("delivered %d of %d", rec.DeliveredBenignPkts, rec.ArrivedBenign)
+	if rec.DeliveredBenignPkts() != rec.ArrivedBenign() {
+		t.Fatalf("delivered %d of %d", rec.DeliveredBenignPkts(), rec.ArrivedBenign())
 	}
 }
 
@@ -70,12 +70,12 @@ func TestIngressPolicerDrops(t *testing.T) {
 	})
 	Replay(eng, cbr(0, eventsim.Second, 5e6, packet.Benign, 1), port)
 	eng.Run()
-	if rec.DroppedBenign == 0 {
+	if rec.DroppedBenign() == 0 {
 		t.Fatal("policer drops not recorded")
 	}
-	diff := int(rec.DroppedBenign) - int(rec.DeliveredBenignPkts)
+	diff := int(rec.DroppedBenign()) - int(rec.DeliveredBenignPkts())
 	if diff < -1 || diff > 1 {
-		t.Fatalf("drop/deliver split wrong: %d vs %d", rec.DroppedBenign, rec.DeliveredBenignPkts)
+		t.Fatalf("drop/deliver split wrong: %d vs %d", rec.DroppedBenign(), rec.DeliveredBenignPkts())
 	}
 }
 
@@ -246,8 +246,8 @@ func TestFIFONeverReorders(t *testing.T) {
 		cbr(0, 3*eventsim.Second, 12e6, packet.Malicious, 5),
 	), port)
 	eng.RunUntil(4 * eventsim.Second)
-	if rec.Reordered != 0 {
-		t.Fatalf("FIFO reordered %d packets", rec.Reordered)
+	if rec.Reordered() != 0 {
+		t.Fatalf("FIFO reordered %d packets", rec.Reordered())
 	}
 }
 
@@ -269,7 +269,7 @@ func TestPriorityChangeReordersAcrossUpdate(t *testing.T) {
 	eng.At(eventsim.Second/10+1, func(eventsim.Time) { prio = 0 })
 	Replay(eng, cbr(eventsim.Second/5, eventsim.Second/5+eventsim.Second/10, 4e6, packet.Benign, 1), port)
 	eng.RunUntil(5 * eventsim.Second)
-	if rec.Reordered == 0 {
+	if rec.Reordered() == 0 {
 		t.Fatal("expected reordering across the priority update")
 	}
 }
@@ -283,11 +283,11 @@ func TestChainForwardsWithDelay(t *testing.T) {
 	Chain(eng, a, b, 5*eventsim.Millisecond)
 	Replay(eng, cbr(0, eventsim.Second, 5e6, packet.Benign, 1), a)
 	eng.RunUntil(2 * eventsim.Second)
-	if recB.ArrivedBenign != recA.DeliveredBenignPkts {
+	if recB.ArrivedBenign() != recA.DeliveredBenignPkts() {
 		t.Fatalf("chain lost packets: %d arrived at B of %d delivered by A",
-			recB.ArrivedBenign, recA.DeliveredBenignPkts)
+			recB.ArrivedBenign(), recA.DeliveredBenignPkts())
 	}
-	if recB.DeliveredBenignPkts == 0 {
+	if recB.DeliveredBenignPkts() == 0 {
 		t.Fatal("nothing delivered end-to-end")
 	}
 }
@@ -324,11 +324,11 @@ func TestFanInRoutesByPacket(t *testing.T) {
 		return 0
 	})
 	eng.RunUntil(2 * eventsim.Second)
-	if recs[0].ArrivedBenign == 0 || recs[0].ArrivedMalicious != 0 {
-		t.Fatalf("port 0: %d benign %d malicious", recs[0].ArrivedBenign, recs[0].ArrivedMalicious)
+	if recs[0].ArrivedBenign() == 0 || recs[0].ArrivedMalicious() != 0 {
+		t.Fatalf("port 0: %d benign %d malicious", recs[0].ArrivedBenign(), recs[0].ArrivedMalicious())
 	}
-	if recs[1].ArrivedMalicious == 0 || recs[1].ArrivedBenign != 0 {
-		t.Fatalf("port 1: %d benign %d malicious", recs[1].ArrivedBenign, recs[1].ArrivedMalicious)
+	if recs[1].ArrivedMalicious() == 0 || recs[1].ArrivedBenign() != 0 {
+		t.Fatalf("port 1: %d benign %d malicious", recs[1].ArrivedBenign(), recs[1].ArrivedMalicious())
 	}
 }
 

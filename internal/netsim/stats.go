@@ -6,12 +6,20 @@ import (
 	"accturbo/internal/eventsim"
 	"accturbo/internal/packet"
 	"accturbo/internal/queue"
+	"accturbo/internal/telemetry"
 )
 
 // Recorder accumulates time-binned traffic statistics with ground-truth
 // attribution. Every experiment series in the paper (bandwidth shares,
 // drop rates, benign-drop percentages, reaction times) is derived from
 // a Recorder.
+//
+// The Recorder is the attribution adapter over the shared telemetry
+// layer: its since-construction totals are telemetry.Counters (readable
+// concurrently, exportable through a telemetry.Registry via Describe),
+// while the per-bin series and per-flow/per-packet maps — which need
+// the packet headers the label-agnostic telemetry sinks never see —
+// stay local. It implements the port's Accounting interface.
 type Recorder struct {
 	binWidth eventsim.Time
 	bins     []binStats
@@ -24,15 +32,14 @@ type Recorder struct {
 	delaySum  [2]eventsim.Time // per label
 	delayMax  [2]eventsim.Time
 
-	// Totals since construction (packets).
-	ArrivedBenign, ArrivedMalicious uint64
-	DroppedBenign, DroppedMalicious uint64
-	DeliveredBenignPkts             uint64
-	DeliveredMaliciousPkts          uint64
-	// Reordered counts delivered packets that left after a same-flow
-	// packet that arrived later (§10's reordering discussion).
-	Reordered uint64
+	// Totals since construction (packets), indexed by label.
+	arrived   [2]telemetry.Counter
+	dropped   [2]telemetry.Counter
+	delivered [2]telemetry.Counter
+	reordered telemetry.Counter
 }
+
+var _ Accounting = (*Recorder)(nil)
 
 type binStats struct {
 	arrivedBytes   [2]uint64 // indexed by label
@@ -61,6 +68,41 @@ func NewRecorder(binWidth eventsim.Time) *Recorder {
 // BinWidth returns the configured bin width.
 func (r *Recorder) BinWidth() eventsim.Time { return r.binWidth }
 
+// ArrivedBenign returns the total benign packets offered.
+func (r *Recorder) ArrivedBenign() uint64 { return r.arrived[0].Value() }
+
+// ArrivedMalicious returns the total malicious packets offered.
+func (r *Recorder) ArrivedMalicious() uint64 { return r.arrived[1].Value() }
+
+// DroppedBenign returns the total benign packets dropped.
+func (r *Recorder) DroppedBenign() uint64 { return r.dropped[0].Value() }
+
+// DroppedMalicious returns the total malicious packets dropped.
+func (r *Recorder) DroppedMalicious() uint64 { return r.dropped[1].Value() }
+
+// DeliveredBenignPkts returns the total benign packets delivered.
+func (r *Recorder) DeliveredBenignPkts() uint64 { return r.delivered[0].Value() }
+
+// DeliveredMaliciousPkts returns the total malicious packets delivered.
+func (r *Recorder) DeliveredMaliciousPkts() uint64 { return r.delivered[1].Value() }
+
+// Reordered returns delivered packets that left after a same-flow
+// packet that arrived later (§10's reordering discussion).
+func (r *Recorder) Reordered() uint64 { return r.reordered.Value() }
+
+// Describe registers the recorder's totals on a telemetry registry
+// under the given name prefix, so simulator runs export through the
+// same text exposition as the real-time pipeline.
+func (r *Recorder) Describe(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+"_arrived_benign_pkts", &r.arrived[0])
+	reg.Counter(prefix+"_arrived_malicious_pkts", &r.arrived[1])
+	reg.Counter(prefix+"_dropped_benign_pkts", &r.dropped[0])
+	reg.Counter(prefix+"_dropped_malicious_pkts", &r.dropped[1])
+	reg.Counter(prefix+"_delivered_benign_pkts", &r.delivered[0])
+	reg.Counter(prefix+"_delivered_malicious_pkts", &r.delivered[1])
+	reg.Counter(prefix+"_reordered_pkts", &r.reordered)
+}
+
 // Bins returns the number of bins touched so far.
 func (r *Recorder) Bins() int { return len(r.bins) }
 
@@ -82,18 +124,14 @@ func (r *Recorder) Arrival(now eventsim.Time, p *packet.Packet) {
 	l := labelIndex(p)
 	b.arrivedBytes[l] += uint64(p.Size())
 	b.arrivedPkts[l]++
-	if l == 1 {
-		r.ArrivedMalicious++
-	} else {
-		r.ArrivedBenign++
-	}
+	r.arrived[l].Inc()
 }
 
 // Delivered records a packet that completed transmission.
 func (r *Recorder) Delivered(now eventsim.Time, p *packet.Packet) {
 	if p.Seq > 0 {
 		if p.Seq < r.seqMax[p.FlowID] {
-			r.Reordered++
+			r.reordered.Inc()
 		} else {
 			r.seqMax[p.FlowID] = p.Seq
 		}
@@ -111,11 +149,7 @@ func (r *Recorder) Delivered(now eventsim.Time, p *packet.Packet) {
 	l := labelIndex(p)
 	b.deliveredBytes[l] += uint64(p.Size())
 	b.deliveredPkts[l]++
-	if l == 1 {
-		r.DeliveredMaliciousPkts++
-	} else {
-		r.DeliveredBenignPkts++
-	}
+	r.delivered[l].Inc()
 	i := int(now / r.binWidth)
 	s := r.perFlow[p.FlowID]
 	for len(s) <= i {
@@ -133,11 +167,7 @@ func (r *Recorder) Dropped(now eventsim.Time, p *packet.Packet, _ queue.DropReas
 	l := labelIndex(p)
 	b.droppedBytes[l] += uint64(p.Size())
 	b.droppedPkts[l]++
-	if l == 1 {
-		r.DroppedMalicious++
-	} else {
-		r.DroppedBenign++
-	}
+	r.dropped[l].Inc()
 }
 
 func labelIndex(p *packet.Packet) int {
@@ -199,18 +229,20 @@ func (r *Recorder) DropRate() []float64 {
 // BenignDropPercent returns 100 * dropped benign packets / arrived
 // benign packets over the whole run — the Table 3 / Fig. 8 metric.
 func (r *Recorder) BenignDropPercent() float64 {
-	if r.ArrivedBenign == 0 {
+	arrived := r.ArrivedBenign()
+	if arrived == 0 {
 		return 0
 	}
-	return 100 * float64(r.DroppedBenign) / float64(r.ArrivedBenign)
+	return 100 * float64(r.DroppedBenign()) / float64(arrived)
 }
 
 // MaliciousDropPercent is the malicious-class analogue.
 func (r *Recorder) MaliciousDropPercent() float64 {
-	if r.ArrivedMalicious == 0 {
+	arrived := r.ArrivedMalicious()
+	if arrived == 0 {
 		return 0
 	}
-	return 100 * float64(r.DroppedMalicious) / float64(r.ArrivedMalicious)
+	return 100 * float64(r.DroppedMalicious()) / float64(arrived)
 }
 
 // MeanDelay returns the average port transit delay (queueing +
@@ -219,12 +251,7 @@ func (r *Recorder) MaliciousDropPercent() float64 {
 // stays flat (the scheduling story of §5).
 func (r *Recorder) MeanDelay(label packet.Label) (mean, max eventsim.Time) {
 	li := int(label & 1)
-	var n uint64
-	if li == 1 {
-		n = r.DeliveredMaliciousPkts
-	} else {
-		n = r.DeliveredBenignPkts
-	}
+	n := r.delivered[li].Value()
 	if n == 0 {
 		return 0, 0
 	}

@@ -6,6 +6,7 @@ import (
 
 	"accturbo/internal/eventsim"
 	"accturbo/internal/packet"
+	"accturbo/internal/telemetry"
 )
 
 // RankFunc assigns a scheduling rank to a packet at enqueue time; lower
@@ -23,6 +24,7 @@ type PIFO struct {
 	bytes    int
 	rank     RankFunc
 	onDrop   []DropFunc
+	sink     telemetry.Sink
 	seq      uint64
 	h        pifoHeap
 }
@@ -66,12 +68,15 @@ func NewPIFO(capacityBytes int, rank RankFunc) *PIFO {
 	if rank == nil {
 		panic("queue: nil rank function")
 	}
-	return &PIFO{capBytes: capacityBytes, rank: rank}
+	return &PIFO{capBytes: capacityBytes, rank: rank, sink: telemetry.Nop()}
 }
 
 // OnDrop registers an additional callback for rejected or pushed-out
 // packets.
 func (q *PIFO) OnDrop(fn DropFunc) { q.onDrop = append(q.onDrop, fn) }
+
+// SetSink implements Instrumented.
+func (q *PIFO) SetSink(s telemetry.Sink) { q.sink = telemetry.OrNop(s) }
 
 // Enqueue implements Qdisc. When full, the worst-ranked packets are
 // evicted as long as the arrival ranks strictly better; otherwise the
@@ -98,10 +103,12 @@ func (q *PIFO) Enqueue(now eventsim.Time, p *packet.Packet) DropReason {
 	heap.Push(&q.h, pifoItem{p: p, rank: r, seq: q.seq})
 	q.seq++
 	q.bytes += p.Size()
+	q.sink.RecordEnqueue(now, p.Size(), len(q.h), q.bytes)
 	return DropNone
 }
 
 func (q *PIFO) notifyDrop(now eventsim.Time, p *packet.Packet, r DropReason) {
+	q.sink.RecordDrop(now, p.Size(), uint8(r))
 	for _, fn := range q.onDrop {
 		fn(now, p, r)
 	}
@@ -114,6 +121,7 @@ func (q *PIFO) Dequeue(now eventsim.Time) *packet.Packet {
 	}
 	it := heap.Pop(&q.h).(pifoItem)
 	q.bytes -= it.p.Size()
+	q.sink.RecordDequeue(now, it.p.Size(), len(q.h), q.bytes)
 	return it.p
 }
 

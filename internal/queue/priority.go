@@ -5,6 +5,7 @@ import (
 
 	"accturbo/internal/eventsim"
 	"accturbo/internal/packet"
+	"accturbo/internal/telemetry"
 )
 
 // Classifier maps a packet to a priority-queue index. Queue 0 has the
@@ -27,6 +28,7 @@ type Priority struct {
 	queues   []*FIFO
 	classify Classifier
 	onDrop   []DropFunc
+	sink     telemetry.Sink
 
 	// EnqueuedTo counts packets accepted per queue, for scheduling
 	// diagnostics (e.g. the paper's Fig. 11a "score" metric).
@@ -47,6 +49,7 @@ func NewPriority(n, perQueueBytes int, classify Classifier) *Priority {
 	p := &Priority{
 		queues:     make([]*FIFO, n),
 		classify:   classify,
+		sink:       telemetry.Nop(),
 		EnqueuedTo: make([]uint64, n),
 	}
 	for i := range p.queues {
@@ -60,6 +63,11 @@ func (pq *Priority) NumQueues() int { return len(pq.queues) }
 
 // OnDrop registers an additional callback for rejected packets.
 func (pq *Priority) OnDrop(fn DropFunc) { pq.onDrop = append(pq.onDrop, fn) }
+
+// SetSink implements Instrumented: accounting is reported at the
+// scheduler level (aggregate depth across all priority levels), once
+// per packet, not per internal FIFO.
+func (pq *Priority) SetSink(s telemetry.Sink) { pq.sink = telemetry.OrNop(s) }
 
 // QueueLen returns the packet count of queue i.
 func (pq *Priority) QueueLen(i int) int { return pq.queues[i].Len() }
@@ -75,12 +83,14 @@ func (pq *Priority) Enqueue(now eventsim.Time, p *packet.Packet) DropReason {
 		i = len(pq.queues) - 1
 	}
 	if res := pq.queues[i].Enqueue(now, p); res != DropNone {
+		pq.sink.RecordDrop(now, p.Size(), uint8(res))
 		for _, fn := range pq.onDrop {
 			fn(now, p, res)
 		}
 		return res
 	}
 	pq.EnqueuedTo[i]++
+	pq.sink.RecordEnqueue(now, p.Size(), pq.Len(), pq.Bytes())
 	return DropNone
 }
 
@@ -88,6 +98,7 @@ func (pq *Priority) Enqueue(now eventsim.Time, p *packet.Packet) DropReason {
 func (pq *Priority) Dequeue(now eventsim.Time) *packet.Packet {
 	for _, q := range pq.queues {
 		if p := q.Dequeue(now); p != nil {
+			pq.sink.RecordDequeue(now, p.Size(), pq.Len(), pq.Bytes())
 			return p
 		}
 	}

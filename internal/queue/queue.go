@@ -12,6 +12,7 @@ import (
 
 	"accturbo/internal/eventsim"
 	"accturbo/internal/packet"
+	"accturbo/internal/telemetry"
 )
 
 // DropReason explains why a packet was not enqueued.
@@ -69,6 +70,51 @@ type Qdisc interface {
 	Bytes() int
 }
 
+// DropNotifier is the drop-subscription half of a discipline: OnDrop
+// registers a callback invoked for every packet the discipline rejects
+// or pushes out, with the reason. Every qdisc in this package
+// implements it (enforced by the compile-time assertions below), so a
+// port can always attach drop accounting — a discipline that forgot to
+// expose OnDrop would fail the build here instead of silently losing
+// drops.
+type DropNotifier interface {
+	OnDrop(DropFunc)
+}
+
+// Instrumented is implemented by disciplines that report accounting
+// (enqueue/dequeue/drop/depth) through a telemetry.Sink. Disciplines
+// default to the shared no-op sink, so the hot path never branches on
+// nil accounting; SetSink replaces it wholesale (wrap sinks in a
+// telemetry.TeeSink to stack them).
+type Instrumented interface {
+	SetSink(telemetry.Sink)
+}
+
+// Compile-time interface checks: every discipline must satisfy Qdisc,
+// DropNotifier and Instrumented.
+var (
+	_ Qdisc = (*FIFO)(nil)
+	_ Qdisc = (*RED)(nil)
+	_ Qdisc = (*Priority)(nil)
+	_ Qdisc = (*PIFO)(nil)
+	_ Qdisc = (*SPPIFO)(nil)
+	_ Qdisc = (*AIFO)(nil)
+
+	_ DropNotifier = (*FIFO)(nil)
+	_ DropNotifier = (*RED)(nil)
+	_ DropNotifier = (*Priority)(nil)
+	_ DropNotifier = (*PIFO)(nil)
+	_ DropNotifier = (*SPPIFO)(nil)
+	_ DropNotifier = (*AIFO)(nil)
+
+	_ Instrumented = (*FIFO)(nil)
+	_ Instrumented = (*RED)(nil)
+	_ Instrumented = (*Priority)(nil)
+	_ Instrumented = (*PIFO)(nil)
+	_ Instrumented = (*SPPIFO)(nil)
+	_ Instrumented = (*AIFO)(nil)
+)
+
 // ring is a growable FIFO ring buffer of packets.
 type ring struct {
 	buf        []*packet.Packet
@@ -115,6 +161,7 @@ type FIFO struct {
 	bytes    int
 	q        ring
 	onDrop   []DropFunc
+	sink     telemetry.Sink
 }
 
 // NewFIFO returns a FIFO with the given byte capacity. A non-positive
@@ -124,12 +171,15 @@ func NewFIFO(capacityBytes int) *FIFO {
 	if capacityBytes <= 0 {
 		panic(fmt.Sprintf("queue: FIFO capacity %d must be positive", capacityBytes))
 	}
-	return &FIFO{capBytes: capacityBytes}
+	return &FIFO{capBytes: capacityBytes, sink: telemetry.Nop()}
 }
 
 // OnDrop registers an additional callback invoked for every rejected
 // packet. Callbacks run in registration order.
 func (f *FIFO) OnDrop(fn DropFunc) { f.onDrop = append(f.onDrop, fn) }
+
+// SetSink implements Instrumented.
+func (f *FIFO) SetSink(s telemetry.Sink) { f.sink = telemetry.OrNop(s) }
 
 // Capacity returns the configured byte capacity.
 func (f *FIFO) Capacity() int { return f.capBytes }
@@ -137,6 +187,7 @@ func (f *FIFO) Capacity() int { return f.capBytes }
 // Enqueue implements Qdisc.
 func (f *FIFO) Enqueue(now eventsim.Time, p *packet.Packet) DropReason {
 	if f.bytes+p.Size() > f.capBytes {
+		f.sink.RecordDrop(now, p.Size(), uint8(DropTail))
 		for _, fn := range f.onDrop {
 			fn(now, p, DropTail)
 		}
@@ -144,6 +195,7 @@ func (f *FIFO) Enqueue(now eventsim.Time, p *packet.Packet) DropReason {
 	}
 	f.q.push(p)
 	f.bytes += p.Size()
+	f.sink.RecordEnqueue(now, p.Size(), f.q.len(), f.bytes)
 	return DropNone
 }
 
@@ -152,6 +204,7 @@ func (f *FIFO) Dequeue(now eventsim.Time) *packet.Packet {
 	p := f.q.pop()
 	if p != nil {
 		f.bytes -= p.Size()
+		f.sink.RecordDequeue(now, p.Size(), f.q.len(), f.bytes)
 	}
 	return p
 }

@@ -5,6 +5,7 @@ import (
 
 	"accturbo/internal/eventsim"
 	"accturbo/internal/packet"
+	"accturbo/internal/telemetry"
 )
 
 // SPPIFO approximates a PIFO queue on top of strict-priority queues
@@ -25,6 +26,7 @@ type SPPIFO struct {
 	bounds []int64
 	rank   RankFunc
 	onDrop []DropFunc
+	sink   telemetry.Sink
 
 	// Inversions counts dequeued packets whose rank was lower than the
 	// highest rank dequeued before them — the SP-PIFO quality metric.
@@ -49,6 +51,7 @@ func NewSPPIFO(n, perQueueBytes int, rank RankFunc) *SPPIFO {
 		queues: make([]*FIFO, n),
 		bounds: make([]int64, n),
 		rank:   rank,
+		sink:   telemetry.Nop(),
 	}
 	for i := range s.queues {
 		s.queues[i] = NewFIFO(perQueueBytes)
@@ -58,6 +61,10 @@ func NewSPPIFO(n, perQueueBytes int, rank RankFunc) *SPPIFO {
 
 // OnDrop registers an additional drop callback.
 func (s *SPPIFO) OnDrop(fn DropFunc) { s.onDrop = append(s.onDrop, fn) }
+
+// SetSink implements Instrumented; accounting is reported at the
+// scheduler level, like Priority.
+func (s *SPPIFO) SetSink(sk telemetry.Sink) { s.sink = telemetry.OrNop(sk) }
 
 // Bounds returns a copy of the current per-queue rank bounds.
 func (s *SPPIFO) Bounds() []int64 {
@@ -81,6 +88,7 @@ func (s *SPPIFO) Enqueue(now eventsim.Time, p *packet.Packet) DropReason {
 				s.bounds[i] = r // push-up
 				s.PushUps++
 			}
+			s.sink.RecordEnqueue(now, p.Size(), s.Len(), s.Bytes())
 			return DropNone
 		}
 	}
@@ -99,10 +107,12 @@ func (s *SPPIFO) Enqueue(now eventsim.Time, p *packet.Packet) DropReason {
 		s.bounds[0] = r
 		s.PushUps++
 	}
+	s.sink.RecordEnqueue(now, p.Size(), s.Len(), s.Bytes())
 	return DropNone
 }
 
 func (s *SPPIFO) notifyDrop(now eventsim.Time, p *packet.Packet, r DropReason) {
+	s.sink.RecordDrop(now, p.Size(), uint8(r))
 	for _, fn := range s.onDrop {
 		fn(now, p, r)
 	}
@@ -112,6 +122,7 @@ func (s *SPPIFO) notifyDrop(now eventsim.Time, p *packet.Packet, r DropReason) {
 func (s *SPPIFO) Dequeue(now eventsim.Time) *packet.Packet {
 	for _, q := range s.queues {
 		if p := q.Dequeue(now); p != nil {
+			s.sink.RecordDequeue(now, p.Size(), s.Len(), s.Bytes())
 			r := s.rank(now, p)
 			if s.anyDequeued && r < s.maxDequeued {
 				s.Inversions++

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"accturbo/internal/eventsim"
+)
+
+// Histogram counts observations into fixed buckets. Bucket i holds
+// observations v <= Bounds[i]; one implicit overflow bucket holds the
+// rest, so Observe never allocates and never loses a sample. Suited to
+// latencies (nanosecond values) and queue depths alike.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1, last = overflow
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// HistogramSnapshot is a copy-on-read view of a Histogram.
+type HistogramSnapshot struct {
+	// Bounds are the inclusive upper bounds; Counts has one extra
+	// trailing entry for overflow.
+	Bounds []int64
+	Counts []uint64
+	// Count and Sum aggregate all observations; Max is the largest.
+	Count uint64
+	Sum   int64
+	Max   int64
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// NewHistogram builds a histogram over the given ascending inclusive
+// upper bounds. The bounds slice is copied.
+func NewHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// LatencyBuckets returns the default deployment-latency bounds:
+// 1 µs … ~17 s in powers of four.
+func LatencyBuckets() []int64 {
+	out := make([]int64, 0, 13)
+	for v := int64(eventsim.Microsecond); len(out) < 13; v *= 4 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Observe records one value. The bucket scan is linear: bucket counts
+// stay small (≈a dozen), which beats a branchy binary search on the
+// short arrays in practice and keeps the path trivially allocation
+// free.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for ; i < len(h.bounds); i++ {
+		if v <= h.bounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveSince records now-start on the histogram's scale — the
+// poll→deploy measurement shape.
+func (h *Histogram) ObserveSince(start, now eventsim.Time) {
+	h.Observe(int64(now - start))
+}
+
+// Snapshot returns a copy of the current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: make([]int64, len(h.bounds)),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Max:    h.max.Load(),
+	}
+	copy(s.Bounds, h.bounds)
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}

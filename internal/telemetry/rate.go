@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"accturbo/internal/eventsim"
+)
+
+// RateMeter measures an event/byte rate over fixed windows of its
+// timeline. Observe accumulates into the current window; the first
+// observation at or past the window boundary publishes the closed
+// window as the last completed rate. Driven by virtual timestamps the
+// meter is fully deterministic; under wall time concurrent observers
+// race only on which of them rolls the window, never on the counts.
+type RateMeter struct {
+	width int64 // window width, ns
+
+	start atomic.Int64 // current window start
+	pkts  atomic.Uint64
+	bytes atomic.Uint64
+
+	lastPkts  atomic.Uint64
+	lastBytes atomic.Uint64
+	lastWidth atomic.Int64 // width actually covered by the last window
+}
+
+// RateSnapshot is a copy-on-read view of a RateMeter.
+type RateSnapshot struct {
+	// WindowStart and WindowWidth frame the last completed window.
+	WindowStart eventsim.Time
+	WindowWidth eventsim.Time
+	// Pkts and Bytes are the totals of the last completed window.
+	Pkts, Bytes uint64
+	// PktsPerSec and BitsPerSec are the derived rates.
+	PktsPerSec, BitsPerSec float64
+}
+
+// NewRateMeter builds a meter with the given window width.
+func NewRateMeter(window eventsim.Time) *RateMeter {
+	if window <= 0 {
+		window = eventsim.Second
+	}
+	return &RateMeter{width: int64(window)}
+}
+
+// Observe records pkts packets / bytes bytes at time now.
+func (m *RateMeter) Observe(now eventsim.Time, pkts, bytes uint64) {
+	start := m.start.Load()
+	if int64(now)-start >= m.width {
+		// Roll the window: exactly one caller wins the CAS and
+		// publishes the closed window's totals.
+		newStart := int64(now) - int64(now)%m.width
+		if m.start.CompareAndSwap(start, newStart) {
+			m.lastPkts.Store(m.pkts.Swap(0))
+			m.lastBytes.Store(m.bytes.Swap(0))
+			m.lastWidth.Store(newStart - start)
+		}
+	}
+	m.pkts.Add(pkts)
+	m.bytes.Add(bytes)
+}
+
+// Snapshot returns the last completed window. The in-progress window is
+// intentionally excluded: a half-filled window would understate the
+// rate.
+func (m *RateMeter) Snapshot() RateSnapshot {
+	covered := m.lastWidth.Load()
+	s := RateSnapshot{
+		WindowStart: eventsim.Time(m.start.Load() - covered),
+		WindowWidth: eventsim.Time(m.width),
+		Pkts:        m.lastPkts.Load(),
+		Bytes:       m.lastBytes.Load(),
+	}
+	// Rates are normalized by the configured width: a late roll (idle
+	// gap spanning windows) reports the events over the elapsed span.
+	span := covered
+	if span <= 0 {
+		span = m.width
+	}
+	sec := float64(span) / float64(eventsim.Second)
+	if sec > 0 {
+		s.PktsPerSec = float64(s.Pkts) / sec
+		s.BitsPerSec = float64(s.Bytes) * 8 / sec
+	}
+	return s
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"accturbo/internal/eventsim"
+)
+
+// maxDropReasons bounds the per-reason drop counters in QueueStats.
+// queue.DropReason values index into it; unknown reasons fold onto the
+// last slot.
+const maxDropReasons = 8
+
+// Sink receives per-event queue accounting: every enqueue, dequeue and
+// drop a discipline performs, with the post-event depth. Reasons are
+// queue.DropReason values carried as opaque small integers so the
+// telemetry layer stays independent of the queue package.
+//
+// Implementations must be cheap and must not retain the packet — the
+// sink sees sizes and times only, never headers, so it can run at line
+// rate on the real-time path as well as inside the simulator.
+type Sink interface {
+	// RecordEnqueue reports an accepted packet of pktBytes and the
+	// discipline's depth after admission.
+	RecordEnqueue(now eventsim.Time, pktBytes, depthPkts, depthBytes int)
+	// RecordDequeue reports a departing packet and the depth after it.
+	RecordDequeue(now eventsim.Time, pktBytes, depthPkts, depthBytes int)
+	// RecordDrop reports a rejected (or pushed-out) packet.
+	RecordDrop(now eventsim.Time, pktBytes int, reason uint8)
+}
+
+// nopSink discards all events.
+type nopSink struct{}
+
+func (nopSink) RecordEnqueue(eventsim.Time, int, int, int) {}
+func (nopSink) RecordDequeue(eventsim.Time, int, int, int) {}
+func (nopSink) RecordDrop(eventsim.Time, int, uint8)       {}
+
+var nop Sink = nopSink{}
+
+// Nop returns the shared no-op sink. Disciplines default to it so the
+// hot path never branches on a nil sink.
+func Nop() Sink { return nop }
+
+// OrNop returns s, or the no-op sink when s is nil.
+func OrNop(s Sink) Sink {
+	if s == nil {
+		return nop
+	}
+	return s
+}
+
+// QueueStats is the standard Sink: enqueue/dequeue counters in packets
+// and bytes, per-reason drop counters, depth gauges, and a drain-rate
+// meter. The zero value is not usable; build with NewQueueStats.
+type QueueStats struct {
+	EnqueuedPkts, EnqueuedBytes Counter
+	DequeuedPkts, DequeuedBytes Counter
+	DroppedPkts, DroppedBytes   Counter
+	dropsByReason               [maxDropReasons]Counter
+
+	DepthPkts, DepthBytes Gauge
+	// Drain meters the dequeue (service) rate per window.
+	Drain *RateMeter
+}
+
+// QueueSnapshot is a copy-on-read view of a QueueStats.
+type QueueSnapshot struct {
+	EnqueuedPkts, EnqueuedBytes uint64
+	DequeuedPkts, DequeuedBytes uint64
+	DroppedPkts, DroppedBytes   uint64
+	DropsByReason               [maxDropReasons]uint64
+	DepthPkts, DepthBytes       int64
+	Drain                       RateSnapshot
+}
+
+// NewQueueStats builds queue accounting with the given drain-meter
+// window (zero selects one second).
+func NewQueueStats(window eventsim.Time) *QueueStats {
+	return &QueueStats{Drain: NewRateMeter(window)}
+}
+
+var _ Sink = (*QueueStats)(nil)
+
+// RecordEnqueue implements Sink.
+func (q *QueueStats) RecordEnqueue(now eventsim.Time, pktBytes, depthPkts, depthBytes int) {
+	q.EnqueuedPkts.Inc()
+	q.EnqueuedBytes.Add(uint64(pktBytes))
+	q.DepthPkts.Set(int64(depthPkts))
+	q.DepthBytes.Set(int64(depthBytes))
+}
+
+// RecordDequeue implements Sink.
+func (q *QueueStats) RecordDequeue(now eventsim.Time, pktBytes, depthPkts, depthBytes int) {
+	q.DequeuedPkts.Inc()
+	q.DequeuedBytes.Add(uint64(pktBytes))
+	q.DepthPkts.Set(int64(depthPkts))
+	q.DepthBytes.Set(int64(depthBytes))
+	q.Drain.Observe(now, 1, uint64(pktBytes))
+}
+
+// RecordDrop implements Sink.
+func (q *QueueStats) RecordDrop(now eventsim.Time, pktBytes int, reason uint8) {
+	q.DroppedPkts.Inc()
+	q.DroppedBytes.Add(uint64(pktBytes))
+	if reason >= maxDropReasons {
+		reason = maxDropReasons - 1
+	}
+	q.dropsByReason[reason].Inc()
+}
+
+// DropsFor returns the drop count recorded for one reason value.
+func (q *QueueStats) DropsFor(reason uint8) uint64 {
+	if reason >= maxDropReasons {
+		reason = maxDropReasons - 1
+	}
+	return q.dropsByReason[reason].Value()
+}
+
+// Snapshot returns a copy of all queue accounting.
+func (q *QueueStats) Snapshot() QueueSnapshot {
+	s := QueueSnapshot{
+		EnqueuedPkts:  q.EnqueuedPkts.Value(),
+		EnqueuedBytes: q.EnqueuedBytes.Value(),
+		DequeuedPkts:  q.DequeuedPkts.Value(),
+		DequeuedBytes: q.DequeuedBytes.Value(),
+		DroppedPkts:   q.DroppedPkts.Value(),
+		DroppedBytes:  q.DroppedBytes.Value(),
+		DepthPkts:     q.DepthPkts.Value(),
+		DepthBytes:    q.DepthBytes.Value(),
+		Drain:         q.Drain.Snapshot(),
+	}
+	for i := range q.dropsByReason {
+		s.DropsByReason[i] = q.dropsByReason[i].Value()
+	}
+	return s
+}
+
+// TeeSink fans every event out to multiple sinks, for stacking the
+// standard accounting with experiment-specific observers.
+type TeeSink []Sink
+
+var _ Sink = TeeSink(nil)
+
+// RecordEnqueue implements Sink.
+func (t TeeSink) RecordEnqueue(now eventsim.Time, pktBytes, depthPkts, depthBytes int) {
+	for _, s := range t {
+		s.RecordEnqueue(now, pktBytes, depthPkts, depthBytes)
+	}
+}
+
+// RecordDequeue implements Sink.
+func (t TeeSink) RecordDequeue(now eventsim.Time, pktBytes, depthPkts, depthBytes int) {
+	for _, s := range t {
+		s.RecordDequeue(now, pktBytes, depthPkts, depthBytes)
+	}
+}
+
+// RecordDrop implements Sink.
+func (t TeeSink) RecordDrop(now eventsim.Time, pktBytes int, reason uint8) {
+	for _, s := range t {
+		s.RecordDrop(now, pktBytes, reason)
+	}
+}

@@ -1,0 +1,248 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"accturbo/internal/eventsim"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestVecCounterStriping(t *testing.T) {
+	v := NewVecCounter(10, 4)
+	for shard := 0; shard < 4; shard++ {
+		for i := 0; i < 10; i++ {
+			v.Add(shard, i, uint64(i+1))
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if got, want := v.Value(i), uint64(4*(i+1)); got != want {
+			t.Fatalf("counter %d = %d, want %d", i, got, want)
+		}
+	}
+	if got, want := v.Total(), uint64(4*55); got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+	// Out-of-range index clamps to the last counter, out-of-range shard
+	// folds to stripe 0 — both still count.
+	before := v.Value(9)
+	v.Add(99, 99, 1)
+	if got := v.Value(9); got != before+1 {
+		t.Fatalf("clamped add lost: %d -> %d", before, got)
+	}
+	vals := v.Values()
+	if len(vals) != 10 || vals[9] != before+1 {
+		t.Fatalf("Values() = %v", vals)
+	}
+}
+
+func TestVecCounterConcurrent(t *testing.T) {
+	const shards, perShard = 8, 10000
+	v := NewVecCounter(4, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perShard; i++ {
+				v.Add(s, i%4, 1)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got, want := v.Total(), uint64(shards*perShard); got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+}
+
+func TestRateMeterWindows(t *testing.T) {
+	m := NewRateMeter(eventsim.Second)
+	// Fill window [0, 1s): 100 packets of 125 bytes = 100 kbit.
+	for i := 0; i < 100; i++ {
+		m.Observe(eventsim.Time(i)*10*eventsim.Millisecond, 1, 125)
+	}
+	if s := m.Snapshot(); s.Pkts != 0 {
+		t.Fatalf("window not closed yet, snapshot = %+v", s)
+	}
+	// First observation in the next window publishes the closed one.
+	m.Observe(eventsim.Second, 1, 125)
+	s := m.Snapshot()
+	if s.Pkts != 100 || s.Bytes != 12500 {
+		t.Fatalf("closed window = %+v, want 100 pkts / 12500 bytes", s)
+	}
+	if s.PktsPerSec != 100 || s.BitsPerSec != 100000 {
+		t.Fatalf("rates = %v pkts/s %v bit/s, want 100 / 100000", s.PktsPerSec, s.BitsPerSec)
+	}
+}
+
+func TestRateMeterIdleGap(t *testing.T) {
+	m := NewRateMeter(eventsim.Second)
+	m.Observe(0, 10, 1000)
+	// Next observation five windows later: rate is averaged over the
+	// elapsed span, not inflated to a single window.
+	m.Observe(5*eventsim.Second, 1, 100)
+	s := m.Snapshot()
+	if s.Pkts != 10 {
+		t.Fatalf("pkts = %d, want 10", s.Pkts)
+	}
+	if s.PktsPerSec != 2 {
+		t.Fatalf("pkts/s = %v, want 2 (10 pkts over 5 s)", s.PktsPerSec)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if want := []uint64{2, 2, 1, 1}; len(s.Counts) != 4 ||
+		s.Counts[0] != want[0] || s.Counts[1] != want[1] || s.Counts[2] != want[2] || s.Counts[3] != want[3] {
+		t.Fatalf("counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 6 || s.Sum != 5626 || s.Max != 5000 {
+		t.Fatalf("count/sum/max = %d/%d/%d", s.Count, s.Sum, s.Max)
+	}
+	if got := s.Mean(); got != 5626.0/6 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Snapshot is a copy: mutating it doesn't touch the live histogram.
+	s.Counts[0] = 999
+	if h.Snapshot().Counts[0] != 2 {
+		t.Fatal("snapshot aliases live counts")
+	}
+	h.ObserveSince(100, 150)
+	if h.Snapshot().Counts[1] != 3 {
+		t.Fatal("ObserveSince missed bucket 1")
+	}
+}
+
+func TestLatencyBucketsAscending(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) == 0 || b[0] != int64(eventsim.Microsecond) {
+		t.Fatalf("buckets = %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v", i, b)
+		}
+	}
+	NewHistogram(b) // must not panic
+}
+
+func TestQueueStatsSink(t *testing.T) {
+	q := NewQueueStats(eventsim.Second)
+	q.RecordEnqueue(0, 100, 1, 100)
+	q.RecordEnqueue(1, 200, 2, 300)
+	q.RecordDequeue(2, 100, 1, 200)
+	q.RecordDrop(3, 500, 1)
+	q.RecordDrop(4, 500, 200) // out-of-range reason folds onto last slot
+
+	s := q.Snapshot()
+	if s.EnqueuedPkts != 2 || s.EnqueuedBytes != 300 {
+		t.Fatalf("enqueued = %d/%d", s.EnqueuedPkts, s.EnqueuedBytes)
+	}
+	if s.DequeuedPkts != 1 || s.DequeuedBytes != 100 {
+		t.Fatalf("dequeued = %d/%d", s.DequeuedPkts, s.DequeuedBytes)
+	}
+	if s.DroppedPkts != 2 || s.DroppedBytes != 1000 {
+		t.Fatalf("dropped = %d/%d", s.DroppedPkts, s.DroppedBytes)
+	}
+	if s.DepthPkts != 1 || s.DepthBytes != 200 {
+		t.Fatalf("depth = %d/%d", s.DepthPkts, s.DepthBytes)
+	}
+	if q.DropsFor(1) != 1 || q.DropsFor(maxDropReasons-1) != 1 || q.DropsFor(255) != 1 {
+		t.Fatalf("per-reason drops wrong: %v", s.DropsByReason)
+	}
+}
+
+func TestNopAndTee(t *testing.T) {
+	if OrNop(nil) != Nop() {
+		t.Fatal("OrNop(nil) != Nop()")
+	}
+	q := NewQueueStats(0)
+	if OrNop(q) != Sink(q) {
+		t.Fatal("OrNop(s) != s")
+	}
+	tee := TeeSink{Nop(), q}
+	tee.RecordEnqueue(0, 10, 1, 10)
+	tee.RecordDequeue(0, 10, 0, 0)
+	tee.RecordDrop(0, 10, 0)
+	if q.EnqueuedPkts.Value() != 1 || q.DequeuedPkts.Value() != 1 || q.DroppedPkts.Value() != 1 {
+		t.Fatal("tee did not fan out")
+	}
+}
+
+func TestRegistryText(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(3)
+	var g Gauge
+	g.Set(-2)
+	h := NewHistogram([]int64{10, 20})
+	h.Observe(5)
+	h.Observe(15)
+	h.Observe(25)
+	r.Counter("pkts_total", &c)
+	r.Gauge("depth", &g)
+	r.Histogram("latency_ns", h)
+	r.CounterFunc("derived_total", func() uint64 { return 9 })
+	r.GaugeFunc("ratio", func() float64 { return 0.5 })
+	v := NewVecCounter(2, 1)
+	v.Add(0, 1, 4)
+	r.Vec("queue_pkts", v)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE depth gauge\ndepth -2\n",
+		"# TYPE pkts_total counter\npkts_total 3\n",
+		"derived_total 9\n",
+		"ratio 0.5\n",
+		"queue_pkts_0 0\n",
+		"queue_pkts_1 4\n",
+		"latency_ns_bucket{le=\"10\"} 1\n",
+		"latency_ns_bucket{le=\"20\"} 2\n",
+		"latency_ns_bucket{le=\"+Inf\"} 3\n",
+		"latency_ns_sum 45\n",
+		"latency_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Stable order: samples sort by name.
+	if strings.Index(out, "depth") > strings.Index(out, "pkts_total") {
+		t.Error("exposition not sorted by name")
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 7 {
+		t.Fatalf("snapshot has %d samples, want 7", len(snap))
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("depth", &c)
+}
