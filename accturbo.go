@@ -207,6 +207,28 @@ func (d *Defense) Process(at time.Duration, p *Packet) Verdict {
 	}
 }
 
+// ObserveBatch classifies a batch of packets sharing the timestamp
+// `at`, the amortized alternative to calling Process in a loop: the
+// live queue mapping is loaded once, each data-plane shard is visited
+// once (one lock acquisition per shard in the concurrent mode), and
+// telemetry counters are flushed per batch rather than per packet.
+//
+// When queues is non-nil it must be at least len(pkts) long; entry i
+// receives packet i's priority queue (what Verdict.Queue would have
+// reported). Pass nil when only the aggregate counters matter. In
+// deterministic mode the pipeline clock first advances to `at`; in
+// real-time mode `at` is ignored and ObserveBatch may be called from
+// any goroutine.
+func (d *Defense) ObserveBatch(at time.Duration, pkts []*Packet, queues []int) {
+	if d.eng != nil {
+		t := eventsim.FromDuration(at)
+		if t > d.eng.Now() {
+			d.eng.RunUntil(t)
+		}
+	}
+	d.dp.ObserveBatch(pkts, queues)
+}
+
 // Poll forces one control-loop iteration immediately (poll → rank →
 // map, with the deployment still applying after DeployDelay), without
 // waiting for the next PollInterval tick. Safe in both modes; in

@@ -222,6 +222,59 @@ func BenchmarkDefenseProcessExhaustive(b *testing.B) {
 	}
 }
 
+// BenchmarkObserveBatch measures the amortized per-packet cost of the
+// batched ingest path (256-packet batches): one queue-map load, one
+// shard-lock round and one telemetry flush per batch instead of per
+// packet. Reported per packet for direct comparison with
+// BenchmarkDefenseProcess; the steady-state path is allocation-free
+// (gated by TestObserveBatchZeroAlloc in internal/core).
+func BenchmarkObserveBatch(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Clustering.SliceInit = true
+			cfg.Shards = shards
+			var d *Defense
+			if shards > 1 {
+				d = NewRealTimeDefense(cfg)
+				defer d.Close()
+			} else {
+				d = NewDefense(cfg)
+			}
+			const batch = 256
+			pkts := make([]*Packet, batch)
+			for i := range pkts {
+				pkts[i] = benignPacket(i)
+			}
+			queues := make([]int, batch)
+			d.ObserveBatch(0, pkts, queues) // warm clusterers and scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batch {
+				d.ObserveBatch(0, pkts, queues)
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndSim is the whole-simulator benchmark behind the
+// EXPERIMENTS.md perf table: one full fig8-quick run per iteration —
+// event engine, traffic generation, packet pooling, queueing, clustering
+// and the control loop all on the clock. The allocs/op column is the
+// headline: the per-packet path allocates nothing, so the total stays
+// flat as simulated traffic grows.
+func BenchmarkEndToEndSim(b *testing.B) {
+	e, err := experiments.ByID("fig8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(benchOpts)
+	}
+}
+
 // BenchmarkDefenseSharded measures aggregate Observe throughput of the
 // concurrent pipeline at 1/2/4/8 shards, fed via RunParallel from
 // GOMAXPROCS goroutines. All shard counts run the same locked

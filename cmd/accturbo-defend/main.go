@@ -54,6 +54,7 @@ func main() {
 	realtime := flag.Bool("realtime", false, "run the wall-clock pipeline instead of deterministic replay")
 	shards := flag.Int("shards", 1, "data-plane clustering shards (> 1 implies -realtime)")
 	ingest := flag.Int("ingest", runtime.GOMAXPROCS(0), "ingest goroutines in real-time mode")
+	batchSize := flag.Int("batch", 0, "feed packets through ObserveBatch in batches of this size (0 = per-packet; incompatible with -verdicts)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the telemetry text exposition on this address (e.g. :9100) while processing")
 	flag.Parse()
 	if *in == "" {
@@ -62,6 +63,10 @@ func main() {
 	}
 	if *shards > 1 {
 		*realtime = true
+	}
+	if *batchSize > 1 && *verdictsOut != "" {
+		fmt.Fprintln(os.Stderr, "-batch cannot be combined with -verdicts: the batch path reports queue counts, not per-packet distances")
+		os.Exit(2)
 	}
 
 	f, err := os.Open(*in)
@@ -144,7 +149,70 @@ func main() {
 
 	n := 0
 	start := time.Now()
-	if *realtime {
+	useBatch := *batchSize > 1
+	switch {
+	case *realtime && useBatch:
+		// Batched real-time ingest: whole batches fan out to the
+		// workers, so each worker amortizes the shard locks and counter
+		// flushes over *batchSize packets per ObserveBatch call.
+		workers := *ingest
+		if workers < 1 {
+			workers = 1
+		}
+		feed := make(chan []*packet.Packet, 4*workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for b := range feed {
+					d.ObserveBatch(0, b, nil)
+				}
+			}()
+		}
+		buf := make([]*packet.Packet, 0, *batchSize)
+		for {
+			_, p, err := r.Next()
+			if err != nil {
+				break
+			}
+			buf = append(buf, p)
+			n++
+			if len(buf) == *batchSize {
+				feed <- buf
+				buf = make([]*packet.Packet, 0, *batchSize)
+			}
+		}
+		if len(buf) > 0 {
+			feed <- buf
+		}
+		close(feed)
+		wg.Wait()
+	case useBatch:
+		// Batched deterministic replay: the pipeline clock advances to
+		// each batch's first timestamp, so control-loop ticks quantize
+		// to batch boundaries (the amortization trade-off).
+		buf := make([]*packet.Packet, 0, *batchSize)
+		var batchAt time.Duration
+		for {
+			at, p, err := r.Next()
+			if err != nil {
+				break
+			}
+			if len(buf) == 0 {
+				batchAt = at.Duration()
+			}
+			buf = append(buf, p)
+			n++
+			if len(buf) == *batchSize {
+				d.ObserveBatch(batchAt, buf, nil)
+				buf = buf[:0]
+			}
+		}
+		if len(buf) > 0 {
+			d.ObserveBatch(batchAt, buf, nil)
+		}
+	case *realtime:
 		workers := *ingest
 		if workers < 1 {
 			workers = 1
@@ -170,7 +238,7 @@ func main() {
 		}
 		close(feed)
 		wg.Wait()
-	} else {
+	default:
 		for {
 			at, p, err := r.Next()
 			if err != nil {
@@ -181,6 +249,15 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+	if useBatch {
+		// The batch path skips per-packet verdicts; recover the
+		// scheduling distribution from the data plane's routed counters.
+		for q, c := range d.Metrics().RoutedPkts {
+			if q < len(queueCounts) {
+				queueCounts[q].Store(c)
+			}
+		}
+	}
 
 	fmt.Printf("processed %d packets from %s\n", n, *in)
 	if *realtime {

@@ -48,6 +48,24 @@ type Dataplane struct {
 	// across all stripes lock-free.
 	assigned *telemetry.VecCounter
 	routed   *telemetry.VecCounter
+
+	// scratch recycles ObserveBatch working memory across batches (and,
+	// in concurrent mode, across ingest goroutines).
+	scratch sync.Pool
+}
+
+// batchScratch is ObserveBatch's reusable working memory: the
+// counting-sort buffers that group a batch by shard, and the per-batch
+// count accumulators flushed to the telemetry stripes once per shard
+// run instead of once per packet.
+type batchScratch struct {
+	idx      []int32  // packet indices, grouped by shard
+	shard    []int32  // per-packet shard, computed once
+	segStart []int32  // per-shard segment start in idx
+	segLen   []int32  // per-shard segment length
+	fill     []int32  // per-shard fill cursor during grouping
+	assigned []uint64 // per-cluster-slot counts for the current shard run
+	routed   []uint64 // per-queue counts for the current shard run
 }
 
 // countStripes is the number of counter stripes per shard. Power of
@@ -92,6 +110,15 @@ func NewDataplane(cfg Config, concurrent bool) *Dataplane {
 	}
 	for i := 0; i < n; i++ {
 		d.shards = append(d.shards, &shard{clusterer: cluster.NewOnline(cfg.Clustering)})
+	}
+	d.scratch.New = func() any {
+		return &batchScratch{
+			segStart: make([]int32, n),
+			segLen:   make([]int32, n),
+			fill:     make([]int32, n),
+			assigned: make([]uint64, cfg.Clustering.MaxClusters),
+			routed:   make([]uint64, cfg.NumQueues),
+		}
 	}
 	qm := make([]int, cfg.Clustering.MaxClusters)
 	d.queueMap.Store(&qm)
@@ -171,7 +198,13 @@ func (d *Dataplane) assignOn(si int, p *packet.Packet) cluster.Assignment {
 // to the lowest-priority queue — never to queue 0, which would hand an
 // attacker the highest priority by default.
 func (d *Dataplane) QueueFor(clusterID int) int {
-	qm := *d.queueMap.Load()
+	return d.queueIn(*d.queueMap.Load(), clusterID)
+}
+
+// queueIn is QueueFor against an already-loaded mapping, so batch
+// processing loads the atomic pointer once per batch instead of once
+// per packet.
+func (d *Dataplane) queueIn(qm []int, clusterID int) int {
 	if clusterID < 0 || clusterID >= len(qm) {
 		return d.cfg.NumQueues - 1
 	}
@@ -187,6 +220,132 @@ func (d *Dataplane) Classify(p *packet.Packet) (cluster.Assignment, int) {
 	q := d.QueueFor(a.Cluster)
 	d.routed.Add(stripeOf(si, p), q, 1)
 	return a, q
+}
+
+// ObserveBatch runs the full per-packet step (assign → queue lookup →
+// count) over a batch, amortizing what Classify pays per packet: the
+// queue mapping is loaded once, each shard's lock (concurrent mode) is
+// taken once per batch, and the telemetry stripes receive one flush
+// per shard run instead of two atomic adds per packet. Packets are
+// grouped by flow-hash shard first, so each shard's clusterer sees its
+// packets in batch order — the same order the per-packet path would
+// deliver.
+//
+// When queues is non-nil it must be at least len(pkts) long; entry i
+// receives packet i's priority queue. The aggregate counters
+// (AssignedCounts, RoutedCounts, Observed) advance exactly as if every
+// packet had gone through Classify.
+func (d *Dataplane) ObserveBatch(pkts []*packet.Packet, queues []int) {
+	n := len(pkts)
+	if n == 0 {
+		return
+	}
+	if queues != nil && len(queues) < n {
+		panic("core: ObserveBatch queues shorter than pkts")
+	}
+	qm := *d.queueMap.Load()
+	sc := d.scratch.Get().(*batchScratch)
+
+	if len(d.shards) == 1 {
+		// Single pipeline: no grouping pass needed.
+		d.runShard(0, pkts, nil, queues, qm, sc)
+		d.scratch.Put(sc)
+		return
+	}
+
+	// Group packet indices by shard with a counting sort; the flow hash
+	// is computed once per packet.
+	if cap(sc.idx) < n {
+		sc.idx = make([]int32, n)
+		sc.shard = make([]int32, n)
+	}
+	sc.idx = sc.idx[:n]
+	sc.shard = sc.shard[:n]
+	ns := uint32(len(d.shards))
+	for i := range sc.segLen {
+		sc.segLen[i] = 0
+	}
+	for i, p := range pkts {
+		si := int32(flowHash(p) % ns)
+		sc.shard[i] = si
+		sc.segLen[si]++
+	}
+	off := int32(0)
+	for si := range sc.segStart {
+		sc.segStart[si] = off
+		sc.fill[si] = off
+		off += sc.segLen[si]
+	}
+	for i := range pkts {
+		si := sc.shard[i]
+		sc.idx[sc.fill[si]] = int32(i)
+		sc.fill[si]++
+	}
+	for si := range d.shards {
+		if sc.segLen[si] == 0 {
+			continue
+		}
+		seg := sc.idx[sc.segStart[si] : sc.segStart[si]+sc.segLen[si]]
+		d.runShard(si, pkts, seg, queues, qm, sc)
+	}
+	d.scratch.Put(sc)
+}
+
+// runShard observes one shard's slice of a batch and flushes the
+// accumulated counts to one of the shard's telemetry stripes. seg is
+// the packet-index segment for this shard, or nil for "all of pkts"
+// (the single-shard fast path). The stripe is picked from the run's
+// first packet — stripes only partition the same aggregated total, so
+// any choice is correct.
+func (d *Dataplane) runShard(si int, pkts []*packet.Packet, seg []int32, queues []int, qm []int, sc *batchScratch) {
+	s := d.shards[si]
+	if d.concurrent {
+		s.mu.Lock()
+	}
+	if seg == nil {
+		for i, p := range pkts {
+			a := s.clusterer.Observe(p)
+			sc.assigned[a.Cluster]++
+			q := d.queueIn(qm, a.Cluster)
+			sc.routed[q]++
+			if queues != nil {
+				queues[i] = q
+			}
+		}
+	} else {
+		for _, i := range seg {
+			p := pkts[i]
+			a := s.clusterer.Observe(p)
+			sc.assigned[a.Cluster]++
+			q := d.queueIn(qm, a.Cluster)
+			sc.routed[q]++
+			if queues != nil {
+				queues[i] = q
+			}
+		}
+	}
+	if d.concurrent {
+		s.mu.Unlock()
+	}
+	var first *packet.Packet
+	if seg == nil {
+		first = pkts[0]
+	} else {
+		first = pkts[seg[0]]
+	}
+	stripe := stripeOf(si, first)
+	for c, cnt := range sc.assigned {
+		if cnt != 0 {
+			d.assigned.Add(stripe, c, cnt)
+			sc.assigned[c] = 0
+		}
+	}
+	for q, cnt := range sc.routed {
+		if cnt != 0 {
+			d.routed.Add(stripe, q, cnt)
+			sc.routed[q] = 0
+		}
+	}
 }
 
 // AssignedCounts returns the per-cluster-slot assignment totals since

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active. The
+// zero-alloc gates that rely on sync.Pool hits skip under -race
+// because the detector deliberately randomizes pool retention.
+const raceEnabled = false

@@ -393,7 +393,9 @@ func BenchmarkTurboPipeline(b *testing.B) {
 	f := attack().Factory(1)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		port.Inject(eventsim.Time(i), f(uint64(i), 0))
+		p := &packet.Packet{}
+		f(uint64(i), 0, p)
+		port.Inject(eventsim.Time(i), p)
 		if i%64 == 0 {
 			eng.RunUntil(eventsim.Time(i))
 		}

@@ -1,0 +1,69 @@
+package eventsim
+
+// Timer is a re-armable one-shot timer delivering a typed value — the
+// typed veneer over ScheduleArg for components that reschedule
+// themselves forever (port transmitters, pacing sources, retransmit
+// timers). Construction allocates once; every Arm/fire cycle after
+// that is allocation-free, because the engine always receives the same
+// package-level trampoline and the same *Timer argument.
+//
+// A Timer is single-owner and engine-affine like the engine itself: do
+// not share one across goroutines.
+type Timer[T any] struct {
+	eng *Engine
+	fn  func(now Time, v T)
+	v   T
+	h   Handle
+	// tramp is timerFire[T] bound once: materializing a generic
+	// function value allocates its dictionary closure, so Arm must not
+	// do it per call.
+	tramp ArgFunc
+}
+
+// NewTimer builds a timer that calls fn(now, v) when it fires. The
+// value is fixed at construction; use the receiver pattern (v = the
+// component being timed) rather than re-creating timers.
+func NewTimer[T any](eng *Engine, fn func(now Time, v T), v T) *Timer[T] {
+	if eng == nil {
+		panic("eventsim: nil engine")
+	}
+	if fn == nil {
+		panic("eventsim: nil timer callback")
+	}
+	t := &Timer[T]{eng: eng, fn: fn, v: v}
+	t.tramp = timerFire[T]
+	return t
+}
+
+// timerFire is the shared trampoline: the scheduled arg is the Timer
+// itself, so firing needs no per-arm closure.
+func timerFire[T any](now Time, arg any) {
+	t := arg.(*Timer[T])
+	t.h = Handle{}
+	t.fn(now, t.v)
+}
+
+// Arm schedules the timer for absolute time at, replacing any pending
+// occurrence.
+func (t *Timer[T]) Arm(at Time) {
+	t.Stop()
+	t.h = t.eng.ScheduleArg(at, t.tramp, t)
+}
+
+// ArmAfter schedules the timer delay nanoseconds from now, replacing
+// any pending occurrence.
+func (t *Timer[T]) ArmAfter(delay Time) {
+	t.Stop()
+	t.h = t.eng.AfterArg(delay, t.tramp, t)
+}
+
+// Stop cancels the pending occurrence, if any.
+func (t *Timer[T]) Stop() {
+	if t.h.gen != 0 {
+		t.eng.Cancel(t.h)
+		t.h = Handle{}
+	}
+}
+
+// Armed reports whether an occurrence is pending.
+func (t *Timer[T]) Armed() bool { return t.h.gen != 0 }

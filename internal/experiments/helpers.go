@@ -22,11 +22,23 @@ func bufferFor(linkRate float64) int {
 	return b
 }
 
+// recycle closes the packet lifecycle of a single-bottleneck run: the
+// source tree stamps pooled packets, the terminal port releases every
+// packet it delivers or drops. Multi-hop topologies (Chain/FanIn in the
+// pushback experiment) must not use this — their delivered packets are
+// re-injected downstream.
+func recycle(src traffic.Source, port *netsim.Port) {
+	pool := packet.NewPool()
+	traffic.AttachPool(src, pool)
+	port.SetPool(pool)
+}
+
 // runFIFO replays src through a plain FIFO bottleneck.
 func runFIFO(src traffic.Source, linkRate float64, until eventsim.Time) *netsim.Recorder {
 	eng := eventsim.New()
 	rec := netsim.NewRecorder(eventsim.Second)
 	port := netsim.NewPort(eng, queue.NewFIFO(bufferFor(linkRate)), linkRate, rec)
+	recycle(src, port)
 	netsim.Replay(eng, src, port)
 	eng.RunUntil(until)
 	return rec
@@ -39,6 +51,7 @@ func runACC(src traffic.Source, linkRate float64, until eventsim.Time, cfg acc.C
 	red := queue.NewRED(queue.DefaultREDConfig(bufferFor(linkRate), linkRate/8))
 	port := netsim.NewPort(eng, red, linkRate, rec)
 	agent := acc.Attach(eng, port, red, cfg)
+	recycle(src, port)
 	netsim.Replay(eng, src, port)
 	eng.RunUntil(until)
 	return rec, agent
@@ -75,6 +88,7 @@ func runTurbo(src traffic.Source, linkRate float64, until eventsim.Time, cfg cor
 		run.queueSum[l][bin] += q
 		run.pktCount[l][bin]++
 	}
+	recycle(src, port)
 	netsim.Replay(eng, src, port)
 	eng.RunUntil(until)
 	return run
@@ -112,6 +126,7 @@ func runJaqen(src traffic.Source, linkRate float64, until eventsim.Time, cfg jaq
 	rec := netsim.NewRecorder(eventsim.Second)
 	port := netsim.NewPort(eng, queue.NewFIFO(bufferFor(linkRate)), linkRate, rec)
 	j := jaqen.Attach(eng, port, cfg)
+	recycle(src, port)
 	netsim.Replay(eng, src, port)
 	eng.RunUntil(until)
 	return rec, j
@@ -129,6 +144,7 @@ func runPIFOIdeal(src traffic.Source, linkRate float64, until eventsim.Time) *ne
 		return 0
 	})
 	port := netsim.NewPort(eng, pifo, linkRate, rec)
+	recycle(src, port)
 	netsim.Replay(eng, src, port)
 	eng.RunUntil(until)
 	return rec

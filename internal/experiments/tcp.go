@@ -45,6 +45,8 @@ func TCPExperiment(opt Options) *Result {
 			port = netsim.NewPort(eng, queue.NewFIFO(bufferFor(link)), link, rec)
 		}
 
+		pool := packet.NewPool()
+		port.SetPool(pool)
 		flows := make([]*netsim.AIMD, nFlows)
 		for i := range flows {
 			flows[i] = netsim.NewAIMD(eng, port, netsim.AIMDConfig{
@@ -53,6 +55,7 @@ func TCPExperiment(opt Options) *Result {
 				Size: 1200, RTT: 20 * eventsim.Millisecond,
 				Start: 0, End: end, FlowID: uint32(1 + i), Seed: opt.Seed + int64(i),
 			})
+			flows[i].SetPool(pool)
 		}
 		// Pulse wave: 5 s pulses at 4x link with 5 s interleave.
 		pulse := traffic.FlowSpec{
@@ -64,7 +67,9 @@ func TCPExperiment(opt Options) *Result {
 		for at := 5 * eventsim.Second; at+5*eventsim.Second <= end; at += 10 * eventsim.Second {
 			srcs = append(srcs, traffic.NewCBR(at, at+5*eventsim.Second, 4*link, pulse.Factory(opt.Seed+int64(at))))
 		}
-		netsim.Replay(eng, traffic.Merge(srcs...), port)
+		merged := traffic.Merge(srcs...)
+		traffic.AttachPool(merged, pool)
+		netsim.Replay(eng, merged, port)
 		eng.RunUntil(end + eventsim.Second)
 
 		var sum float64

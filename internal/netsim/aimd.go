@@ -31,6 +31,7 @@ type AIMD struct {
 	ssthresh float64
 	inFlight int
 	timerSet bool
+	pool     *packet.Pool
 
 	// Sent, Acked, Lost count segments since construction.
 	Sent, Acked, Lost uint64
@@ -94,7 +95,7 @@ func NewAIMD(eng *eventsim.Engine, port *Port, cfg AIMDConfig) *AIMD {
 			prevDelivered(now, p)
 		}
 		if p.FlowID == cfg.FlowID && p.Protocol == packet.ProtoTCP {
-			eng.After(cfg.RTT, func(t eventsim.Time) { a.onAck(t) })
+			eng.AfterArg(cfg.RTT, aimdAck, a)
 		}
 	}
 	prevDropped := port.Dropped
@@ -107,7 +108,7 @@ func NewAIMD(eng *eventsim.Engine, port *Port, cfg AIMDConfig) *AIMD {
 		}
 	}
 
-	eng.At(cfg.Start, func(now eventsim.Time) { a.pump(now) })
+	eng.ScheduleArg(cfg.Start, aimdPump, a)
 	eng.Every(cfg.RTT, func(now eventsim.Time) {
 		if now >= cfg.Start && now < cfg.End {
 			a.WindowTrace = append(a.WindowTrace, a.cwnd)
@@ -116,9 +117,27 @@ func NewAIMD(eng *eventsim.Engine, port *Port, cfg AIMDConfig) *AIMD {
 	return a
 }
 
+// aimdAck and aimdPump are the sender's event trampolines; carrying
+// the AIMD itself as the argument keeps the per-segment ack timer and
+// the pacing timer allocation-free.
+func aimdAck(t eventsim.Time, arg any) { arg.(*AIMD).onAck(t) }
+
+func aimdPump(t eventsim.Time, arg any) { arg.(*AIMD).pump(t) }
+
+// SetPool recycles this sender's segments through pool. Use the same
+// pool attached to the port so segments released at delivery/drop are
+// the ones re-stamped here.
+func (a *AIMD) SetPool(pool *packet.Pool) { a.pool = pool }
+
 // mkPacket stamps one segment.
 func (a *AIMD) mkPacket() *packet.Packet {
-	return &packet.Packet{
+	var p *packet.Packet
+	if a.pool != nil {
+		p = a.pool.Get()
+	} else {
+		p = &packet.Packet{}
+	}
+	*p = packet.Packet{
 		SrcIP:    a.cfg.SrcIP.Addr(),
 		DstIP:    a.cfg.DstIP.Addr(),
 		Protocol: packet.ProtoTCP,
@@ -131,6 +150,7 @@ func (a *AIMD) mkPacket() *packet.Packet {
 		Label:    packet.Benign,
 		FlowID:   a.cfg.FlowID,
 	}
+	return p
 }
 
 // pump sends while the window allows and re-arms a single timer, so
@@ -165,7 +185,7 @@ func (a *AIMD) armTimer() {
 	}
 	a.timerSet = true
 	jitter := eventsim.Time(a.rng.Int63n(int64(a.cfg.RTT / 4)))
-	a.eng.After(a.cfg.RTT+jitter, func(t eventsim.Time) { a.pump(t) })
+	a.eng.AfterArg(a.cfg.RTT+jitter, aimdPump, a)
 }
 
 // onAck grows the window: slow start below ssthresh, then congestion

@@ -66,6 +66,13 @@ type Port struct {
 	ingress []Ingress
 	acct    Accounting // never nil; see Accounting
 	busy    bool
+	// inflight is the packet currently serializing; the transmit-done
+	// event carries the Port itself, so per-packet transmission needs
+	// no closure.
+	inflight *packet.Packet
+	// pool, when set, receives every packet the port terminates
+	// (delivered or dropped); see SetPool.
+	pool *packet.Pool
 
 	// stats is the label-agnostic queue accounting wired into the
 	// qdisc's telemetry sink; offered/delivered meter the port's load
@@ -121,9 +128,24 @@ func NewPort(eng *eventsim.Engine, q queue.Qdisc, rateBits float64, rec *Recorde
 			if p.Dropped != nil {
 				p.Dropped(now, pkt)
 			}
+			p.release(pkt)
 		})
 	}
 	return p
+}
+
+// SetPool makes the port the release point of the packet lifecycle:
+// every packet it terminates — delivered after serialization, or
+// dropped at the policer or inside the qdisc — is returned to the pool
+// after all accounting and hooks have seen it. Only attach a pool to a
+// terminal (sink) port: a port whose Delivered hook re-injects packets
+// downstream (Chain) must not recycle them.
+func (p *Port) SetPool(pool *packet.Pool) { p.pool = pool }
+
+func (p *Port) release(pkt *packet.Packet) {
+	if p.pool != nil {
+		p.pool.Put(pkt)
+	}
 }
 
 // RateBits returns the configured line rate.
@@ -165,6 +187,7 @@ func (p *Port) Inject(now eventsim.Time, pkt *packet.Packet) {
 			if p.Dropped != nil {
 				p.Dropped(now, pkt)
 			}
+			p.release(pkt)
 			return
 		}
 	}
@@ -185,38 +208,63 @@ func (p *Port) pump(now eventsim.Time) {
 		return
 	}
 	p.busy = true
+	p.inflight = pkt
 	txTime := eventsim.Time(float64(pkt.Size()*8) / p.rate * float64(eventsim.Second))
 	if txTime < 1 {
 		txTime = 1
 	}
-	p.eng.After(txTime, func(t eventsim.Time) {
-		p.busy = false
-		p.delivered.Observe(t, 1, uint64(pkt.Size()))
-		p.acct.Delivered(t, pkt)
-		if p.Delivered != nil {
-			p.Delivered(t, pkt)
-		}
-		p.pump(t)
-	})
+	p.eng.AfterArg(txTime, portTxDone, p)
+}
+
+// portTxDone completes one serialization: the event argument is the
+// Port, the packet rides in Port.inflight, so the per-packet transmit
+// event is allocation-free.
+func portTxDone(t eventsim.Time, arg any) {
+	p := arg.(*Port)
+	pkt := p.inflight
+	p.inflight = nil
+	p.busy = false
+	p.delivered.Observe(t, 1, uint64(pkt.Size()))
+	p.acct.Delivered(t, pkt)
+	if p.Delivered != nil {
+		p.Delivered(t, pkt)
+	}
+	p.release(pkt)
+	p.pump(t)
+}
+
+// replayer carries Replay's iteration state so each arrival reschedules
+// through ScheduleArg without a fresh closure.
+type replayer struct {
+	eng     *eventsim.Engine
+	src     traffic.Source
+	port    *Port
+	pending traffic.TimedPacket
+}
+
+func (r *replayer) schedule(tp traffic.TimedPacket) {
+	at := tp.At
+	if at < r.eng.Now() {
+		at = r.eng.Now()
+	}
+	r.pending = tp
+	r.eng.ScheduleArg(at, replayStep, r)
+}
+
+func replayStep(now eventsim.Time, arg any) {
+	r := arg.(*replayer)
+	r.port.Inject(now, r.pending.Pkt)
+	if next, ok := r.src.Next(); ok {
+		r.schedule(next)
+	}
 }
 
 // Replay schedules every packet of src as an arrival at the port,
-// chaining events so only one pending arrival exists at a time.
+// chaining events so only one pending arrival exists at a time. The
+// whole replay allocates once, regardless of trace length.
 func Replay(eng *eventsim.Engine, src traffic.Source, port *Port) {
-	var step func(tp traffic.TimedPacket)
-	step = func(tp traffic.TimedPacket) {
-		at := tp.At
-		if at < eng.Now() {
-			at = eng.Now()
-		}
-		eng.At(at, func(now eventsim.Time) {
-			port.Inject(now, tp.Pkt)
-			if next, ok := src.Next(); ok {
-				step(next)
-			}
-		})
-	}
 	if first, ok := src.Next(); ok {
-		step(first)
+		r := &replayer{eng: eng, src: src, port: port}
+		r.schedule(first)
 	}
 }

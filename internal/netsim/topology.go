@@ -38,27 +38,42 @@ func FanIn(eng *eventsim.Engine, src traffic.Source, ports []*Port, route func(p
 	if len(ports) == 0 {
 		panic("netsim: FanIn with no ports")
 	}
-	var step func(tp traffic.TimedPacket)
-	step = func(tp traffic.TimedPacket) {
-		at := tp.At
-		if at < eng.Now() {
-			at = eng.Now()
-		}
-		eng.At(at, func(now eventsim.Time) {
-			i := route(tp.Pkt)
-			if i < 0 {
-				i = 0
-			}
-			if i >= len(ports) {
-				i = len(ports) - 1
-			}
-			ports[i].Inject(now, tp.Pkt)
-			if next, ok := src.Next(); ok {
-				step(next)
-			}
-		})
-	}
 	if first, ok := src.Next(); ok {
-		step(first)
+		f := &fanIn{eng: eng, src: src, ports: ports, route: route}
+		f.schedule(first)
+	}
+}
+
+// fanIn is FanIn's iteration state, the multi-port analogue of
+// replayer: one allocation per replay, no per-packet closures.
+type fanIn struct {
+	eng     *eventsim.Engine
+	src     traffic.Source
+	ports   []*Port
+	route   func(p *packet.Packet) int
+	pending traffic.TimedPacket
+}
+
+func (f *fanIn) schedule(tp traffic.TimedPacket) {
+	at := tp.At
+	if at < f.eng.Now() {
+		at = f.eng.Now()
+	}
+	f.pending = tp
+	f.eng.ScheduleArg(at, fanInStep, f)
+}
+
+func fanInStep(now eventsim.Time, arg any) {
+	f := arg.(*fanIn)
+	i := f.route(f.pending.Pkt)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(f.ports) {
+		i = len(f.ports) - 1
+	}
+	f.ports[i].Inject(now, f.pending.Pkt)
+	if next, ok := f.src.Next(); ok {
+		f.schedule(next)
 	}
 }

@@ -107,6 +107,10 @@ type Packet struct {
 	// simulator at the bottleneck (not part of the wire format); sinks
 	// use it to detect reordering introduced by priority changes.
 	Seq uint64
+
+	// pooled marks a packet currently resting in a Pool's free list; it
+	// exists to turn double releases into panics (see Pool.Put).
+	pooled bool
 }
 
 // Size returns the packet's wire size in bytes, as used for
@@ -181,5 +185,6 @@ func (p *Packet) String() string {
 // deep copy; Clone exists to make call sites explicit.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.pooled = false // the copy is a free-standing packet, never pool-resident
 	return &q
 }

@@ -27,6 +27,13 @@ type PIFO struct {
 	sink     telemetry.Sink
 	seq      uint64
 	h        pifoHeap
+
+	// worstIdx caches h.worstIndex() between heap mutations. The
+	// sustained-overload tail-drop path (the arrival loses to the
+	// current worst) mutates nothing, so back-to-back full-buffer drops
+	// reuse the cache and cost O(1) instead of a leaf scan each.
+	worstIdx   int
+	worstValid bool
 }
 
 type pifoItem struct {
@@ -78,6 +85,16 @@ func (q *PIFO) OnDrop(fn DropFunc) { q.onDrop = append(q.onDrop, fn) }
 // SetSink implements Instrumented.
 func (q *PIFO) SetSink(s telemetry.Sink) { q.sink = telemetry.OrNop(s) }
 
+// worst returns the index of the worst-ranked resident item, cached
+// until the next heap mutation.
+func (q *PIFO) worst() int {
+	if !q.worstValid {
+		q.worstIdx = q.h.worstIndex()
+		q.worstValid = true
+	}
+	return q.worstIdx
+}
+
 // Enqueue implements Qdisc. When full, the worst-ranked packets are
 // evicted as long as the arrival ranks strictly better; otherwise the
 // arrival is dropped.
@@ -89,7 +106,7 @@ func (q *PIFO) Enqueue(now eventsim.Time, p *packet.Packet) DropReason {
 			q.notifyDrop(now, p, DropTail)
 			return DropTail
 		}
-		wi := q.h.worstIndex()
+		wi := q.worst()
 		if q.h[wi].rank <= r {
 			// Arrival does not beat the current worst: tail-drop it.
 			q.notifyDrop(now, p, DropTail)
@@ -97,10 +114,12 @@ func (q *PIFO) Enqueue(now eventsim.Time, p *packet.Packet) DropReason {
 		}
 		victim := q.h[wi]
 		heap.Remove(&q.h, wi)
+		q.worstValid = false
 		q.bytes -= victim.p.Size()
 		q.notifyDrop(now, victim.p, DropPushOut)
 	}
 	heap.Push(&q.h, pifoItem{p: p, rank: r, seq: q.seq})
+	q.worstValid = false
 	q.seq++
 	q.bytes += p.Size()
 	q.sink.RecordEnqueue(now, p.Size(), len(q.h), q.bytes)
@@ -120,6 +139,7 @@ func (q *PIFO) Dequeue(now eventsim.Time) *packet.Packet {
 		return nil
 	}
 	it := heap.Pop(&q.h).(pifoItem)
+	q.worstValid = false
 	q.bytes -= it.p.Size()
 	q.sink.RecordDequeue(now, it.p.Size(), len(q.h), q.bytes)
 	return it.p

@@ -318,6 +318,79 @@ func TestPIFOPushOut(t *testing.T) {
 	}
 }
 
+// TestPIFOWorstCacheConsistency drives a random enqueue/dequeue mix and
+// checks the cached worst-leaf index against a fresh scan after every
+// operation: the cache must be bitwise-equivalent to the O(n) scan it
+// replaces whenever it claims validity.
+func TestPIFOWorstCacheConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	q := NewPIFO(20*100, func(_ eventsim.Time, p *packet.Packet) int64 {
+		return int64(p.DstPort)
+	})
+	for op := 0; op < 5000; op++ {
+		if r.Intn(3) < 2 {
+			p := pkt(100)
+			p.DstPort = uint16(r.Intn(50))
+			q.Enqueue(0, p)
+		} else {
+			q.Dequeue(0)
+		}
+		if q.worstValid && len(q.h) > 0 && q.worstIdx != q.h.worstIndex() {
+			t.Fatalf("op %d: cached worst %d, scan says %d", op, q.worstIdx, q.h.worstIndex())
+		}
+	}
+}
+
+// BenchmarkPIFOEnqueueFull measures enqueue at capacity — the
+// sustained-overload regime where every arrival confronts the worst
+// resident packet. The tail-drop case (arrival loses) is the hot path
+// the worst-leaf cache turns from a per-enqueue leaf scan into O(1).
+func BenchmarkPIFOEnqueueFull(b *testing.B) {
+	mk := func(n int) *PIFO {
+		q := NewPIFO(n*100, func(_ eventsim.Time, p *packet.Packet) int64 {
+			return int64(p.DstPort)
+		})
+		for i := 0; i < n; i++ {
+			p := pkt(100)
+			p.DstPort = uint16(i % 1000)
+			q.Enqueue(0, p)
+		}
+		return q
+	}
+	b.Run("taildrop", func(b *testing.B) {
+		q := mk(4096)
+		loser := pkt(100)
+		loser.DstPort = 2000 // ranks worse than every resident packet
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if q.Enqueue(0, loser) != DropTail {
+				b.Fatal("expected tail drop")
+			}
+		}
+	})
+	b.Run("pushout", func(b *testing.B) {
+		// Every push-out strictly improves the resident set, so the
+		// queue is periodically rebuilt (off the clock) to keep arrivals
+		// winning.
+		q := mk(4096)
+		winner := pkt(100)
+		winner.DstPort = 0 // beats every initial resident packet
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%1024 == 0 {
+				b.StopTimer()
+				q = mk(4096)
+				b.StartTimer()
+			}
+			if q.Enqueue(0, winner) != DropNone {
+				b.Fatal("expected push-out admit")
+			}
+		}
+	})
+}
+
 func TestPIFOOversizePacket(t *testing.T) {
 	q := NewPIFO(100, func(eventsim.Time, *packet.Packet) int64 { return 0 })
 	if res := q.Enqueue(0, pkt(500)); res != DropTail {

@@ -119,6 +119,19 @@ type Background struct {
 	arrivalRate float64 // flows per second
 	flowSeq     uint64
 	id          uint16
+	pool        *packet.Pool
+}
+
+// SetPool implements Pooled. Flow templates (bgFlow.spec) are retained
+// by the generator and never pooled; only the stamped per-packet copies
+// cycle through the pool.
+func (b *Background) SetPool(pool *packet.Pool) { b.pool = pool }
+
+func (b *Background) alloc() *packet.Packet {
+	if b.pool != nil {
+		return b.pool.Get()
+	}
+	return &packet.Packet{}
 }
 
 // NewBackground builds the generator. Flow arrivals are Poisson with a
@@ -239,7 +252,8 @@ func (b *Background) Next() (TimedPacket, bool) {
 			continue
 		}
 		b.id++
-		p := f.spec.Clone()
+		p := b.alloc()
+		*p = *f.spec
 		p.ID = b.id
 		p.Length = pickSize(b.rng)
 		tp := TimedPacket{At: f.next, Pkt: p}

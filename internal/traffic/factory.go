@@ -46,12 +46,14 @@ type FlowSpec struct {
 }
 
 // Factory returns a Factory stamping packets from the spec using a
-// deterministic RNG derived from seed.
+// deterministic RNG derived from seed. The whole-struct assignment
+// overwrites every field of dst, so recycled packets carry no state
+// from their previous life.
 func (s FlowSpec) Factory(seed int64) Factory {
 	rng := rand.New(rand.NewSource(seed))
 	spec := s
-	return func(i uint64, _ eventsim.Time) *packet.Packet {
-		p := &packet.Packet{
+	return func(i uint64, _ eventsim.Time, p *packet.Packet) {
+		*p = packet.Packet{
 			SrcIP:    spec.SrcIP.Addr(),
 			DstIP:    spec.DstIP.Addr(),
 			Protocol: spec.Protocol,
@@ -86,7 +88,6 @@ func (s FlowSpec) Factory(seed int64) Factory {
 		if spec.TTLJitter > 0 {
 			p.TTL = spec.TTL + uint8(rng.Intn(spec.TTLJitter))
 		}
-		return p
 	}
 }
 

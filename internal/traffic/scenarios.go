@@ -143,6 +143,9 @@ type flowRelabel struct {
 	id uint32
 }
 
+// SetPool implements Pooled by forwarding.
+func (f *flowRelabel) SetPool(pool *packet.Pool) { AttachPool(f.s, pool) }
+
 func (f *flowRelabel) Next() (TimedPacket, bool) {
 	tp, ok := f.s.Next()
 	if !ok {

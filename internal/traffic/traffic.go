@@ -30,9 +30,28 @@ type Source interface {
 	Next() (TimedPacket, bool)
 }
 
-// Factory builds the i-th packet of a source at virtual time t. The
-// returned packet's Length determines pacing (interval = bits/rate).
-type Factory func(i uint64, t eventsim.Time) *packet.Packet
+// Factory stamps the i-th packet of a source at virtual time t into
+// dst, overwriting every field. The stamped packet's Length determines
+// pacing (interval = bits/rate). Factories stamp rather than allocate
+// so sources can recycle packets through a packet.Pool.
+type Factory func(i uint64, t eventsim.Time, dst *packet.Packet)
+
+// Pooled is implemented by sources that can recycle packets through a
+// packet.Pool. Wrappers (Merge, Concat, Limit, Label, ...) forward
+// SetPool to their children, so AttachPool reaches every generator in
+// a composed scenario.
+type Pooled interface {
+	SetPool(pool *packet.Pool)
+}
+
+// AttachPool attaches a pool to a source tree. Sources that do not
+// implement Pooled (pre-built slices, pcap replay) are left alone —
+// pooling is an optimization, never a requirement.
+func AttachPool(s Source, pool *packet.Pool) {
+	if p, ok := s.(Pooled); ok {
+		p.SetPool(pool)
+	}
+}
 
 // RateFunc returns the source's target rate in bits/second at time t.
 // A non-positive return pauses the source; pacing resumes at the next
@@ -48,6 +67,18 @@ type rated struct {
 	i          uint64
 	// pauseStep is how far to skip forward when the rate is zero.
 	pauseStep eventsim.Time
+	// pool, when set, recycles released packets instead of allocating.
+	pool *packet.Pool
+}
+
+// SetPool implements Pooled.
+func (s *rated) SetPool(pool *packet.Pool) { s.pool = pool }
+
+func (s *rated) alloc() *packet.Packet {
+	if s.pool != nil {
+		return s.pool.Get()
+	}
+	return &packet.Packet{}
 }
 
 // NewRated builds a source that emits factory packets from start to end
@@ -85,7 +116,8 @@ func (s *rated) Next() (TimedPacket, bool) {
 			s.now += s.pauseStep
 			continue
 		}
-		p := s.factory(s.i, s.now)
+		p := s.alloc()
+		s.factory(s.i, s.now, p)
 		s.i++
 		tp := TimedPacket{At: s.now, Pkt: p}
 		s.now += eventsim.Time(float64(p.Size()*8) / r * float64(eventsim.Second))
@@ -169,6 +201,15 @@ func Merge(sources ...Source) Source {
 	return m
 }
 
+// SetPool forwards the pool to every still-live child source. Packets
+// pre-pulled at Merge construction were born before the pool attached;
+// they are ordinary heap packets the pool simply adopts on release.
+func (m *merge) SetPool(pool *packet.Pool) {
+	for _, it := range m.h {
+		AttachPool(it.src, pool)
+	}
+}
+
 func (m *merge) Next() (TimedPacket, bool) {
 	if len(m.h) == 0 {
 		return TimedPacket{}, false
@@ -191,6 +232,13 @@ func Concat(sources ...Source) Source {
 
 type concat struct {
 	rest []Source
+}
+
+// SetPool implements Pooled by forwarding to every remaining source.
+func (c *concat) SetPool(pool *packet.Pool) {
+	for _, s := range c.rest {
+		AttachPool(s, pool)
+	}
 }
 
 func (c *concat) Next() (TimedPacket, bool) {
@@ -243,6 +291,9 @@ type limited struct {
 	left int
 }
 
+// SetPool implements Pooled by forwarding.
+func (l *limited) SetPool(pool *packet.Pool) { AttachPool(l.s, pool) }
+
 func (l *limited) Next() (TimedPacket, bool) {
 	if l.left <= 0 {
 		return TimedPacket{}, false
@@ -262,6 +313,9 @@ type labeled struct {
 	label  packet.Label
 	vector string
 }
+
+// SetPool implements Pooled by forwarding.
+func (l *labeled) SetPool(pool *packet.Pool) { AttachPool(l.s, pool) }
 
 func (l *labeled) Next() (TimedPacket, bool) {
 	tp, ok := l.s.Next()

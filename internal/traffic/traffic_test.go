@@ -155,7 +155,8 @@ func TestFlowSpecRandomization(t *testing.T) {
 	srcs := map[uint32]bool{}
 	ports := map[uint16]bool{}
 	for i := uint64(0); i < 200; i++ {
-		p := f(i, 0)
+		p := &packet.Packet{}
+		f(i, 0, p)
 		srcIP := p.Value(packet.FSrcIP)
 		if srcIP>>8 != uint32(10)<<16 {
 			t.Fatalf("src prefix corrupted: %v", p.SrcIP)
@@ -188,7 +189,9 @@ func TestFlowSpecDeterministic(t *testing.T) {
 		Size: 100, SrcHostBits: 16, RandomSrcPort: true}
 	a, b := spec.Factory(7), spec.Factory(7)
 	for i := uint64(0); i < 50; i++ {
-		pa, pb := a(i, 0), b(i, 0)
+		pa, pb := &packet.Packet{}, &packet.Packet{}
+		a(i, 0, pa)
+		b(i, 0, pb)
 		if pa.SrcIP != pb.SrcIP || pa.SrcPort != pb.SrcPort {
 			t.Fatal("factories with equal seeds diverged")
 		}
@@ -580,7 +583,8 @@ func TestPcapSourceRoundTrip(t *testing.T) {
 func TestPcapSourceSurfacesErrors(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := pcap.NewWriter(&buf)
-	p := simpleFactory(100)(0, 0)
+	p := &packet.Packet{}
+	simpleFactory(100)(0, 0, p)
 	w.Write(0, p)
 	w.Flush()
 	data := buf.Bytes()
