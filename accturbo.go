@@ -21,7 +21,10 @@
 package accturbo
 
 import (
+	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"accturbo/internal/cluster"
@@ -137,24 +140,54 @@ type Defense struct {
 	eng   *eventsim.Engine // deterministic mode (nil in real-time mode)
 	clock *core.WallClock  // real-time mode (nil in deterministic mode)
 	reg   *telemetry.Registry
+
+	// ingest is the optional bounded ingest stage (see EnableIngest);
+	// atomic because metrics scrapes and Health read it from other
+	// goroutines than the one that enables it.
+	ingest atomic.Pointer[ingestStage]
 }
 
 // describe wires the pipeline's instruments into the defense registry.
 func (d *Defense) describe() {
 	d.reg = telemetry.NewRegistry()
 	d.reg.CounterFunc("accturbo_packets_observed", d.dp.Observed)
+	d.reg.CounterFunc("accturbo_ingest_shed", func() uint64 {
+		if in := d.ingest.Load(); in != nil {
+			return in.shed.Value()
+		}
+		return 0
+	})
+	d.reg.GaugeFunc("accturbo_ingest_depth", func() float64 {
+		if in := d.ingest.Load(); in != nil {
+			return float64(len(in.ch))
+		}
+		return 0
+	})
 	d.dp.Describe(d.reg, "accturbo_dataplane")
 	d.cp.Describe(d.reg, "accturbo_controlplane")
 }
 
 // NewDefense builds a pipeline from cfg. With cfg.Shards <= 1 it is the
-// deterministic virtual-time pipeline; with cfg.Shards > 1 it is the
+// deterministic single pipeline; with cfg.Shards > 1 it is the
 // concurrent real-time pipeline (identical to NewRealTimeDefense). It
-// panics on an invalid configuration, like the underlying
-// constructors.
+// panics on an invalid configuration; NewDefenseE is the
+// error-returning variant for runtime paths.
 func NewDefense(cfg Config) *Defense {
+	d, err := NewDefenseE(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewDefenseE is NewDefense returning configuration errors instead of
+// panicking.
+func NewDefenseE(cfg Config) (*Defense, error) {
 	if cfg.Shards > 1 {
-		return NewRealTimeDefense(cfg)
+		return NewRealTimeDefenseE(cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	eng := eventsim.New()
 	d := &Defense{
@@ -162,28 +195,52 @@ func NewDefense(cfg Config) *Defense {
 		eng: eng,
 		dp:  core.NewDataplane(cfg, false),
 	}
-	d.cp = core.NewControlPlane(d.dp, core.SimClock{Eng: eng}, cfg)
+	cp, err := core.NewControlPlaneE(d.dp, core.SimClock{Eng: eng}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.cp = cp
 	d.describe()
 	d.cp.Start()
-	return d
+	return d, nil
 }
 
 // NewRealTimeDefense builds a concurrent pipeline whose control loop
 // runs on the wall clock: polls fire every PollInterval of real time
 // and deployments apply DeployDelay later, regardless of Process
 // timestamps. Any cfg.Shards >= 0 is accepted (0 and 1 mean one shard,
-// still goroutine-safe). Call Close to stop the control loop.
+// still goroutine-safe). Call Close to stop the control loop. It
+// panics on an invalid configuration; NewRealTimeDefenseE is the
+// error-returning variant.
 func NewRealTimeDefense(cfg Config) *Defense {
+	d, err := NewRealTimeDefenseE(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewRealTimeDefenseE is NewRealTimeDefense returning configuration
+// errors instead of panicking.
+func NewRealTimeDefenseE(cfg Config) (*Defense, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	clock := core.NewWallClock()
 	d := &Defense{
 		cfg:   cfg,
 		clock: clock,
 		dp:    core.NewDataplane(cfg, true),
 	}
-	d.cp = core.NewControlPlane(d.dp, clock, cfg)
+	cp, err := core.NewControlPlaneE(d.dp, clock, cfg)
+	if err != nil {
+		clock.Close()
+		return nil, err
+	}
+	d.cp = cp
 	d.describe()
 	d.cp.Start()
-	return d
+	return d, nil
 }
 
 // Process classifies one packet. In deterministic mode it first
@@ -243,13 +300,143 @@ func (d *Defense) Poll() {
 	d.cp.Step(now)
 }
 
-// Close stops the control loop. Required in real-time mode to release
-// its timers; a no-op in deterministic mode.
+// ingestStage is the bounded real-time ingest queue: a fixed-capacity
+// channel drained by a worker pool. When the channel is full, Offer
+// sheds the packet and counts it instead of growing without bound or
+// blocking the capture path — overload degrades visibly (shed counter,
+// depth gauge) rather than by latency collapse or OOM.
+type ingestStage struct {
+	ch       chan *Packet
+	capacity int
+	wg       sync.WaitGroup
+	shed     telemetry.Counter
+
+	mu     sync.RWMutex // guards closed against concurrent Offer
+	closed bool
+}
+
+// EnableIngest starts the bounded ingest stage on a real-time pipeline:
+// `workers` goroutines drain a queue of the given capacity into the
+// data plane. After this, feed packets with Offer; Close drains the
+// queue before stopping the control loop. It errors in deterministic
+// mode (whose single-threaded Process needs no queue) and when called
+// twice.
+func (d *Defense) EnableIngest(capacity, workers int) error {
+	if d.clock == nil {
+		return fmt.Errorf("accturbo: EnableIngest requires the real-time pipeline")
+	}
+	if capacity <= 0 || workers <= 0 {
+		return fmt.Errorf("accturbo: EnableIngest(%d, %d): capacity and workers must be positive", capacity, workers)
+	}
+	in := &ingestStage{ch: make(chan *Packet, capacity), capacity: capacity}
+	if !d.ingest.CompareAndSwap(nil, in) {
+		return fmt.Errorf("accturbo: ingest already enabled")
+	}
+	for w := 0; w < workers; w++ {
+		in.wg.Add(1)
+		go func() {
+			defer in.wg.Done()
+			for p := range in.ch {
+				d.dp.Classify(p)
+			}
+		}()
+	}
+	return nil
+}
+
+// Offer hands a packet to the bounded ingest stage without blocking:
+// it returns false — and counts the packet as shed — when the queue is
+// full (backpressure) or already closed. Safe from any goroutine.
+// Callers that must not lose packets should treat false as "slow down",
+// not "retry immediately".
+func (d *Defense) Offer(p *Packet) bool {
+	in := d.ingest.Load()
+	if in == nil {
+		panic("accturbo: Offer before EnableIngest")
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.closed {
+		in.shed.Inc()
+		return false
+	}
+	select {
+	case in.ch <- p:
+		return true
+	default:
+		in.shed.Inc()
+		return false
+	}
+}
+
+// IngestShed returns the number of packets Offer had to shed. Zero
+// until EnableIngest.
+func (d *Defense) IngestShed() uint64 {
+	if in := d.ingest.Load(); in != nil {
+		return in.shed.Value()
+	}
+	return 0
+}
+
+// Close stops the pipeline. The ingest stage (when enabled) is drained
+// first — every accepted Offer is classified before the control loop
+// stops, so PacketsObserved + IngestShed equals the total number of
+// Offer calls once Close returns. Required in real-time mode to
+// release its timers; a no-op in deterministic mode.
 func (d *Defense) Close() {
+	if in := d.ingest.Load(); in != nil {
+		in.mu.Lock()
+		alreadyClosed := in.closed
+		in.closed = true
+		in.mu.Unlock()
+		if !alreadyClosed {
+			close(in.ch)
+			in.wg.Wait()
+		}
+	}
 	d.cp.Stop()
 	if d.clock != nil {
 		d.clock.Close()
 	}
+}
+
+// Health is the operator-facing degradation snapshot served by the
+// /health endpoint of cmd/accturbo-defend: the control plane's
+// liveness (watchdog staleness, fail-open state, recovered panics)
+// plus ingest pressure. Safe to take from any goroutine.
+type Health struct {
+	// Control is the control plane's liveness snapshot (see
+	// internal/core.Health): poll/decision ages, watchdog state,
+	// fail-open flag, recovered panics.
+	Control core.Health `json:"control"`
+	// PacketsObserved counts packets processed across all shards.
+	PacketsObserved uint64 `json:"packets_observed"`
+	// IngestDepth/IngestCapacity report the bounded ingest queue's
+	// occupancy (zero until EnableIngest); IngestShed counts packets
+	// rejected under backpressure.
+	IngestDepth    int    `json:"ingest_depth"`
+	IngestCapacity int    `json:"ingest_capacity"`
+	IngestShed     uint64 `json:"ingest_shed"`
+	// Degraded rolls the snapshot up for load balancers: true while the
+	// control plane is failed open or its decisions are stale.
+	Degraded bool `json:"degraded"`
+}
+
+// Health snapshots the pipeline's degradation state. It never blocks
+// on the control loop, so it stays responsive while a poll is wedged —
+// which is exactly when it is needed.
+func (d *Defense) Health() Health {
+	h := Health{
+		Control:         d.cp.Health(),
+		PacketsObserved: d.dp.Observed(),
+	}
+	if in := d.ingest.Load(); in != nil {
+		h.IngestDepth = len(in.ch)
+		h.IngestCapacity = in.capacity
+		h.IngestShed = in.shed.Value()
+	}
+	h.Degraded = h.Control.Degraded
+	return h
 }
 
 // Shards returns the number of data-plane clustering pipelines.
@@ -301,6 +488,9 @@ type Metrics struct {
 	// exactly Config.DeployDelay; on the wall clock it includes real
 	// scheduler jitter.
 	DeployLatencyNs HistogramSnapshot
+	// IngestShed counts packets the bounded ingest stage rejected under
+	// backpressure (zero until EnableIngest).
+	IngestShed uint64
 }
 
 // Metrics snapshots the pipeline's telemetry. Safe to call from any
@@ -313,6 +503,7 @@ func (d *Defense) Metrics() Metrics {
 		AssignedPkts:    d.dp.AssignedCounts(),
 		RoutedPkts:      d.dp.RoutedCounts(),
 		DeployLatencyNs: d.cp.DeployLatency(),
+		IngestShed:      d.IngestShed(),
 	}
 }
 

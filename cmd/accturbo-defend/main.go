@@ -16,15 +16,25 @@
 //     time — the software-router deployment shape, reported with
 //     ingest throughput.
 //
+// Chaos testing: -chaos-seed and -fault-spec inject deterministic
+// faults (packet drop/duplicate/corrupt at the capture stream,
+// control-plane stalls via the clock wrapper; see internal/faults),
+// and -fail-open-after arms the control-plane watchdog that reverts to
+// uniform priority when decisions go stale. -metrics-addr additionally
+// serves /health (JSON degradation snapshot; 503 while degraded) next
+// to /metrics.
+//
 // Usage:
 //
 //	accturbo-defend -in day.pcap                    # aggregate report
 //	accturbo-defend -in day.pcap -verdicts out.csv  # per-packet verdicts
 //	accturbo-defend -in day.pcap -realtime -shards 4
 //	accturbo-defend -in day.pcap -realtime -metrics-addr :9100
+//	accturbo-defend -in day.pcap -chaos-seed 7 -fault-spec 'drop:p=0.01;stall:at=5s,for=2s' -fail-open-after 3s
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -36,6 +46,7 @@ import (
 	"time"
 
 	"accturbo"
+	"accturbo/internal/faults"
 	"accturbo/internal/packet"
 	"accturbo/internal/pcap"
 )
@@ -43,6 +54,11 @@ import (
 type capturedPacket struct {
 	at  time.Duration
 	pkt *packet.Packet
+}
+
+func fatal(code int, v ...any) {
+	fmt.Fprintln(os.Stderr, v...)
+	os.Exit(code)
 }
 
 func main() {
@@ -54,31 +70,40 @@ func main() {
 	realtime := flag.Bool("realtime", false, "run the wall-clock pipeline instead of deterministic replay")
 	shards := flag.Int("shards", 1, "data-plane clustering shards (> 1 implies -realtime)")
 	ingest := flag.Int("ingest", runtime.GOMAXPROCS(0), "ingest goroutines in real-time mode")
+	ingestQueue := flag.Int("ingest-queue", 4096, "bounded ingest queue capacity in real-time mode (overflow is shed, not buffered)")
 	batchSize := flag.Int("batch", 0, "feed packets through ObserveBatch in batches of this size (0 = per-packet; incompatible with -verdicts)")
-	metricsAddr := flag.String("metrics-addr", "", "serve the telemetry text exposition on this address (e.g. :9100) while processing")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /health on this address (e.g. :9100) while processing")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for deterministic fault injection (used with -fault-spec)")
+	faultSpec := flag.String("fault-spec", "", "fault plan, e.g. 'drop:p=0.01;dup:p=0.005;stall:at=5s,for=2s' (see internal/faults)")
+	failOpenAfter := flag.Duration("fail-open-after", 0, "watchdog staleness bound: revert to uniform priority when no decision deploys for this long (0 = disabled)")
 	flag.Parse()
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "missing -in capture")
-		os.Exit(2)
+		fatal(2, "missing -in capture")
 	}
 	if *shards > 1 {
 		*realtime = true
 	}
 	if *batchSize > 1 && *verdictsOut != "" {
-		fmt.Fprintln(os.Stderr, "-batch cannot be combined with -verdicts: the batch path reports queue counts, not per-packet distances")
-		os.Exit(2)
+		fatal(2, "-batch cannot be combined with -verdicts: the batch path reports queue counts, not per-packet distances")
+	}
+
+	spec, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fatal(2, err)
+	}
+	var injector *faults.Injector
+	if !spec.Empty() {
+		injector = faults.New(*chaosSeed, spec)
 	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(1, err)
 	}
 	defer f.Close()
 	r, err := pcap.NewReader(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(1, err)
 	}
 
 	cfg := accturbo.HardwareConfig()
@@ -91,20 +116,29 @@ func main() {
 	if *reseedMs > 0 {
 		cfg.ReseedInterval = accturbo.FromDuration(time.Duration(*reseedMs) * time.Millisecond)
 	}
+	cfg.FailOpenAfter = accturbo.FromDuration(*failOpenAfter)
+	if injector != nil {
+		// Stall windows wrap the control loop's clock: the capture
+		// timeline in replay mode, wall time since startup in real-time
+		// mode. The watchdog stays on the unwrapped clock either way.
+		cfg.WrapClock = injector.ClockWrapper()
+	}
 
 	var d *accturbo.Defense
 	if *realtime {
-		d = accturbo.NewRealTimeDefense(cfg)
+		d, err = accturbo.NewRealTimeDefenseE(cfg)
 	} else {
-		d = accturbo.NewDefense(cfg)
+		d, err = accturbo.NewDefenseE(cfg)
+	}
+	if err != nil {
+		fatal(2, err)
 	}
 	defer d.Close()
 
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(1, err)
 		}
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -113,21 +147,65 @@ func main() {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
+		mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+			h := d.Health()
+			w.Header().Set("Content-Type", "application/json")
+			if h.Degraded {
+				// Load balancers read the status line: degraded means
+				// "stop sending me traffic", even though the data plane
+				// is still forwarding fail-open.
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			if err := json.NewEncoder(w).Encode(h); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
 		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		defer srv.Close()
-		fmt.Printf("serving metrics on http://%s/metrics\n", ln.Addr())
+		fmt.Printf("serving metrics on http://%s/metrics and health on /health\n", ln.Addr())
 	}
 
 	var vf *os.File
 	if *verdictsOut != "" {
 		vf, err = os.Create(*verdictsOut)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(1, err)
 		}
 		defer vf.Close()
 		fmt.Fprintln(vf, "time_us,src,dst,proto,sport,dport,len,cluster,queue,distance")
+	}
+
+	// next yields the capture stream with packet-level faults applied:
+	// injected drops vanish here, duplicates appear back to back, and
+	// corruption mutates headers in place — all deterministic under
+	// -chaos-seed.
+	var pending []capturedPacket
+	next := func() (capturedPacket, bool) {
+		for {
+			if len(pending) > 0 {
+				c := pending[0]
+				pending = pending[1:]
+				return c, true
+			}
+			at, p, err := r.Next()
+			if err != nil {
+				return capturedPacket{}, false
+			}
+			if injector == nil {
+				return capturedPacket{at: at.Duration(), pkt: p}, true
+			}
+			drop, dup := injector.Mangle(p)
+			if drop {
+				continue
+			}
+			if dup {
+				c := new(packet.Packet)
+				*c = *p
+				pending = append(pending, capturedPacket{at: at.Duration(), pkt: c})
+			}
+			return capturedPacket{at: at.Duration(), pkt: p}, true
+		}
 	}
 
 	// queueCounts[q] accumulates packets scheduled into queue q.
@@ -150,11 +228,16 @@ func main() {
 	n := 0
 	start := time.Now()
 	useBatch := *batchSize > 1
+	// The batch and bounded-ingest paths skip per-packet verdicts; the
+	// scheduling distribution is recovered from the data plane's routed
+	// counters afterwards.
+	fromRouted := false
 	switch {
 	case *realtime && useBatch:
 		// Batched real-time ingest: whole batches fan out to the
 		// workers, so each worker amortizes the shard locks and counter
 		// flushes over *batchSize packets per ObserveBatch call.
+		fromRouted = true
 		workers := *ingest
 		if workers < 1 {
 			workers = 1
@@ -172,11 +255,11 @@ func main() {
 		}
 		buf := make([]*packet.Packet, 0, *batchSize)
 		for {
-			_, p, err := r.Next()
-			if err != nil {
+			c, ok := next()
+			if !ok {
 				break
 			}
-			buf = append(buf, p)
+			buf = append(buf, c.pkt)
 			n++
 			if len(buf) == *batchSize {
 				feed <- buf
@@ -192,17 +275,18 @@ func main() {
 		// Batched deterministic replay: the pipeline clock advances to
 		// each batch's first timestamp, so control-loop ticks quantize
 		// to batch boundaries (the amortization trade-off).
+		fromRouted = true
 		buf := make([]*packet.Packet, 0, *batchSize)
 		var batchAt time.Duration
 		for {
-			at, p, err := r.Next()
-			if err != nil {
+			c, ok := next()
+			if !ok {
 				break
 			}
 			if len(buf) == 0 {
-				batchAt = at.Duration()
+				batchAt = c.at
 			}
-			buf = append(buf, p)
+			buf = append(buf, c.pkt)
 			n++
 			if len(buf) == *batchSize {
 				d.ObserveBatch(batchAt, buf, nil)
@@ -212,7 +296,30 @@ func main() {
 		if len(buf) > 0 {
 			d.ObserveBatch(batchAt, buf, nil)
 		}
+	case *realtime && *verdictsOut == "":
+		// Per-packet real-time ingest through the pipeline's bounded
+		// queue: overflow is shed (counted, reported below) instead of
+		// buffering without bound when the capture outruns the pipeline.
+		fromRouted = true
+		workers := *ingest
+		if workers < 1 {
+			workers = 1
+		}
+		if err := d.EnableIngest(*ingestQueue, workers); err != nil {
+			fatal(2, err)
+		}
+		for {
+			c, ok := next()
+			if !ok {
+				break
+			}
+			d.Offer(c.pkt)
+			n++
+		}
 	case *realtime:
+		// Per-packet real-time ingest with verdicts: the CSV needs every
+		// packet's verdict, so this path blocks on a bounded channel
+		// instead of shedding.
 		workers := *ingest
 		if workers < 1 {
 			workers = 1
@@ -229,29 +336,30 @@ func main() {
 			}()
 		}
 		for {
-			at, p, err := r.Next()
-			if err != nil {
+			c, ok := next()
+			if !ok {
 				break
 			}
-			feed <- capturedPacket{at: at.Duration(), pkt: p}
+			feed <- c
 			n++
 		}
 		close(feed)
 		wg.Wait()
 	default:
 		for {
-			at, p, err := r.Next()
-			if err != nil {
+			c, ok := next()
+			if !ok {
 				break
 			}
-			processOne(capturedPacket{at: at.Duration(), pkt: p})
+			processOne(c)
 			n++
 		}
 	}
+	// Close drains the bounded ingest queue (if enabled) so routed
+	// counters below are complete; the deferred Close becomes a no-op.
+	d.Close()
 	elapsed := time.Since(start)
-	if useBatch {
-		// The batch path skips per-packet verdicts; recover the
-		// scheduling distribution from the data plane's routed counters.
+	if fromRouted {
 		for q, c := range d.Metrics().RoutedPkts {
 			if q < len(queueCounts) {
 				queueCounts[q].Store(c)
@@ -262,8 +370,17 @@ func main() {
 	fmt.Printf("processed %d packets from %s\n", n, *in)
 	if *realtime {
 		rate := float64(n) / elapsed.Seconds()
-		fmt.Printf("real-time mode: %d shards, %d ingest goroutines, %.0f pkts/s wall, %d deployments, %d observed\n",
-			d.Shards(), *ingest, rate, d.Deployments(), d.PacketsObserved())
+		fmt.Printf("real-time mode: %d shards, %d ingest goroutines, %.0f pkts/s wall, %d deployments, %d observed, %d shed\n",
+			d.Shards(), *ingest, rate, d.Deployments(), d.PacketsObserved(), d.IngestShed())
+	}
+	if injector != nil {
+		fmt.Printf("chaos (seed %d, spec %q): %d dropped, %d duplicated, %d corrupted, %d polls suppressed, %d callbacks delayed\n",
+			*chaosSeed, spec.String(), injector.PacketsDropped.Value(), injector.PacketsDuplicated.Value(),
+			injector.PacketsCorrupted.Value(), injector.PollsSuppressed.Value(), injector.CallbacksDelayed.Value())
+	}
+	if h := d.Health(); cfg.FailOpenAfter > 0 && (h.Control.FailOpenEngagements > 0 || h.Control.PanicsRecovered > 0) {
+		fmt.Printf("resilience: %d fail-open engagements, %d watchdog trips, %d panics recovered\n",
+			h.Control.FailOpenEngagements, h.Control.WatchdogTrips, h.Control.PanicsRecovered)
 	}
 	fmt.Println("\nfinal aggregates (operator view):")
 	for _, info := range d.Clusters() {

@@ -125,20 +125,28 @@ func buildDefense(eng *eventsim.Engine, name string, link float64, rec *netsim.R
 	case "acc":
 		red := queue.NewRED(queue.DefaultREDConfig(buffer, link/8))
 		port = netsim.NewPort(eng, red, link, rec)
-		acc.Attach(eng, port, red, acc.DefaultConfig())
+		if _, err := acc.AttachE(eng, port, red, acc.DefaultConfig()); err != nil {
+			return err
+		}
 	case "jaqen":
 		port = netsim.NewPort(eng, queue.NewFIFO(buffer), link, rec)
 		cfg := jaqen.DefaultConfig()
 		cfg.Window = eventsim.Second
 		cfg.ResetPeriod = eventsim.Second
 		cfg.Threshold = 1000
-		jaqen.Attach(eng, port, cfg)
+		if _, err := jaqen.AttachE(eng, port, cfg); err != nil {
+			return err
+		}
 	case "accturbo":
 		cfg := core.DefaultConfig()
 		cfg.Clustering.MaxClusters = clusters
 		cfg.Clustering.SliceInit = true
 		cfg.ReseedInterval = eventsim.Second
-		port, _ = core.Attach(eng, link, rec, cfg)
+		var err error
+		port, _, err = core.AttachE(eng, link, rec, cfg)
+		if err != nil {
+			return err
+		}
 	case "pifo":
 		q := queue.NewPIFO(buffer, func(_ eventsim.Time, p *packet.Packet) int64 {
 			if p.Label == packet.Malicious {

@@ -166,10 +166,22 @@ type ACC struct {
 
 // Attach wires an ACC agent onto a port whose qdisc must be a RED
 // queue: it registers the drop-history hook, inserts the rate-limiter
-// ingress stage, and schedules the monitoring loop.
+// ingress stage, and schedules the monitoring loop. It panics on an
+// invalid configuration; AttachE is the error-returning variant for
+// runtime paths.
 func Attach(eng *eventsim.Engine, port *netsim.Port, red *queue.RED, cfg Config) *ACC {
-	if err := cfg.Validate(); err != nil {
+	a, err := AttachE(eng, port, red, cfg)
+	if err != nil {
 		panic(err)
+	}
+	return a
+}
+
+// AttachE is Attach returning configuration errors instead of
+// panicking. Nothing is wired to the port or engine when it errors.
+func AttachE(eng *eventsim.Engine, port *netsim.Port, red *queue.RED, cfg Config) (*ACC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.NarrowFraction == 0 {
 		cfg.NarrowFraction = 0.9
@@ -189,7 +201,7 @@ func Attach(eng *eventsim.Engine, port *netsim.Port, red *queue.RED, cfg Config)
 
 	eng.Every(cfg.K, func(now eventsim.Time) { a.monitor(now) })
 	eng.Every(cfg.CycleTime, func(now eventsim.Time) { a.revisit(now) })
-	return a
+	return a, nil
 }
 
 // admit polices a packet against installed sessions and feeds the

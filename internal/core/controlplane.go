@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"accturbo/internal/cluster"
 	"accturbo/internal/eventsim"
@@ -18,9 +20,15 @@ import (
 // the identical loop runs in virtual time (SimClock) and wall time
 // (WallClock).
 type ControlPlane struct {
-	cfg   Config
-	dp    *Dataplane
-	clock Clock
+	cfg Config
+	dp  *Dataplane
+	// clock drives the loop (poll, reseed, deploy callbacks). It is the
+	// caller's clock, possibly wrapped by cfg.WrapClock for fault
+	// injection; rawClock is always the unwrapped original, and the
+	// watchdog runs on it so supervision survives an injected stall of
+	// the loop it guards.
+	clock    Clock
+	rawClock Clock
 
 	mu      sync.Mutex // serializes Step against itself (manual Poll vs ticker)
 	stops   []func()
@@ -28,6 +36,22 @@ type ControlPlane struct {
 
 	deployments telemetry.Counter
 	lastDec     atomic.Pointer[Decision]
+
+	// Watchdog / fail-open state (see health.go). Times are clock
+	// nanoseconds, -1 before the first event; all fields are atomics so
+	// Health() is safe from any goroutine.
+	startAt      atomic.Int64
+	lastPollAt   atomic.Int64
+	lastDeployAt atomic.Int64
+	pollWallLast atomic.Int64 // wall-clock ns spent in the last Step
+	pollWallMax  atomic.Int64
+	consecStale  atomic.Uint32 // consecutive watchdog checks that found staleness
+	failOpen     atomic.Bool
+	lastPanic    atomic.Pointer[string]
+
+	panicsRecovered telemetry.Counter
+	watchdogTrips   telemetry.Counter
+	failOpens       telemetry.Counter
 
 	// deployLatency observes the poll→deploy latency of every deployed
 	// decision: the span from Step computing the mapping to the clock
@@ -52,30 +76,75 @@ type ControlPlane struct {
 const deployHistory = 64
 
 // NewControlPlane builds a control plane over the given data plane and
-// clock. It panics on an invalid configuration.
+// clock. It panics on an invalid configuration; NewControlPlaneE is the
+// error-returning variant for runtime paths.
 func NewControlPlane(dp *Dataplane, clock Clock, cfg Config) *ControlPlane {
-	if err := cfg.Validate(); err != nil {
+	cp, err := NewControlPlaneE(dp, clock, cfg)
+	if err != nil {
 		panic(err)
 	}
+	return cp
+}
+
+// NewControlPlaneE builds a control plane over the given data plane and
+// clock, returning an error on an invalid configuration instead of
+// panicking. cfg.WrapClock, when set, wraps the loop's clock; the
+// watchdog stays on the raw clock.
+func NewControlPlaneE(dp *Dataplane, clock Clock, cfg Config) (*ControlPlane, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
-	return &ControlPlane{
+	loopClock := clock
+	if cfg.WrapClock != nil {
+		loopClock = cfg.WrapClock(clock)
+	}
+	cp := &ControlPlane{
 		cfg:           cfg,
 		dp:            dp,
-		clock:         clock,
+		clock:         loopClock,
+		rawClock:      clock,
 		deployLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()),
+	}
+	cp.startAt.Store(-1)
+	cp.lastPollAt.Store(-1)
+	cp.lastDeployAt.Store(-1)
+	return cp, nil
+}
+
+// guard wraps a clock callback in the control plane's panic-recovery
+// boundary: a panic anywhere in the loop (ranking, a user OnDeploy
+// hook, a clusterer bug) is counted in telemetry and surfaced through
+// Health, never fatal — the data plane keeps classifying under the last
+// deployed mapping, and the watchdog eventually fails open if the loop
+// stops making progress.
+func (cp *ControlPlane) guard(fn func(now eventsim.Time)) func(now eventsim.Time) {
+	return func(now eventsim.Time) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg := fmt.Sprintf("%v", r)
+				cp.lastPanic.Store(&msg)
+				cp.panicsRecovered.Inc()
+			}
+		}()
+		fn(now)
 	}
 }
 
-// Start schedules the polling loop (and the reseed loop when
-// configured) on the clock. It must be called at most once.
+// Start schedules the polling loop (and the reseed and watchdog loops
+// when configured) on the clock. It must be called at most once.
 func (cp *ControlPlane) Start() {
 	if cp.started {
 		panic("core: ControlPlane started twice")
 	}
 	cp.started = true
-	cp.stops = append(cp.stops, cp.clock.Every(cp.cfg.PollInterval, func(now eventsim.Time) { cp.Step(now) }))
+	cp.startAt.Store(int64(cp.rawClock.Now()))
+	cp.stops = append(cp.stops, cp.clock.Every(cp.cfg.PollInterval, cp.guard(func(now eventsim.Time) { cp.Step(now) })))
 	if cp.cfg.ReseedInterval > 0 {
-		cp.stops = append(cp.stops, cp.clock.Every(cp.cfg.ReseedInterval, func(eventsim.Time) { cp.dp.Reseed() }))
+		cp.stops = append(cp.stops, cp.clock.Every(cp.cfg.ReseedInterval, cp.guard(func(eventsim.Time) { cp.dp.Reseed() })))
+	}
+	if cp.cfg.FailOpenAfter > 0 {
+		cp.stops = append(cp.stops, cp.rawClock.Every(cp.cfg.WatchdogInterval, cp.guard(cp.watchdog)))
 	}
 }
 
@@ -116,6 +185,9 @@ func (cp *ControlPlane) Recent(n int) []*Decision {
 func (cp *ControlPlane) Describe(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"_deployments", &cp.deployments)
 	reg.Histogram(prefix+"_deploy_latency_ns", cp.deployLatency)
+	reg.Counter(prefix+"_panics_recovered", &cp.panicsRecovered)
+	reg.Counter(prefix+"_watchdog_trips", &cp.watchdogTrips)
+	reg.Counter(prefix+"_failopen_engaged", &cp.failOpens)
 }
 
 // LastDecision returns the most recent deployed decision (nil before
@@ -148,6 +220,19 @@ func (cp *ControlPlane) rankMetric(info cluster.Info) float64 {
 func (cp *ControlPlane) Step(now eventsim.Time) *Decision {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
+
+	// Watchdog bookkeeping: when the poll started and how long it held
+	// the loop (wall time — purely observational, never fed back into
+	// scheduling, so deterministic simulations stay bit-identical).
+	cp.lastPollAt.Store(int64(now))
+	wallStart := time.Now()
+	defer func() {
+		d := time.Since(wallStart).Nanoseconds()
+		cp.pollWallLast.Store(d)
+		if d > cp.pollWallMax.Load() {
+			cp.pollWallMax.Store(d)
+		}
+	}()
 
 	infos := cp.dp.Snapshot()
 	cp.dp.ResetStats()
@@ -188,11 +273,17 @@ func (cp *ControlPlane) Step(now eventsim.Time) *Decision {
 		Rank:       ranks,
 		QueueOf:    newMap,
 	}
-	cp.clock.After(cp.cfg.DeployDelay, func(t eventsim.Time) {
+	cp.clock.After(cp.cfg.DeployDelay, cp.guard(func(t eventsim.Time) {
 		cp.dp.Deploy(newMap)
 		cp.deployments.Inc()
 		cp.deployLatency.ObserveSince(dec.At, t)
 		cp.lastDec.Store(dec)
+		// A fresh ranked mapping landed: the loop is alive again. Leave
+		// fail-open (if engaged) — this deploy just restored the last
+		// ranking behavior — and reset staleness accounting.
+		cp.lastDeployAt.Store(int64(t))
+		cp.consecStale.Store(0)
+		cp.failOpen.Store(false)
 		cp.histMu.Lock()
 		cp.history[cp.histPos] = dec
 		cp.histPos = (cp.histPos + 1) % deployHistory
@@ -203,6 +294,6 @@ func (cp *ControlPlane) Step(now eventsim.Time) *Decision {
 		if cp.OnDeploy != nil {
 			cp.OnDeploy(dec)
 		}
-	})
+	}))
 	return dec
 }

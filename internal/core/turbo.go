@@ -96,6 +96,25 @@ type Config struct {
 	// N clusterers whose snapshots the control plane merges before
 	// ranking.
 	Shards int
+	// FailOpenAfter, when positive, arms the control-plane watchdog: if
+	// no fresh decision deploys within FailOpenAfter of the previous
+	// one, the queue map reverts to uniform priority (every cluster in
+	// queue 0 — strict priority degenerates to a plain FIFO, the
+	// fail-open posture of the ACC lineage) until the loop recovers.
+	// Zero disables the watchdog; experiments and golden baselines run
+	// with it disabled. Sensible bounds start around
+	// 3*(PollInterval+DeployDelay).
+	FailOpenAfter eventsim.Time
+	// WatchdogInterval is the staleness-check period. Zero defaults to
+	// PollInterval. Only meaningful with FailOpenAfter > 0.
+	WatchdogInterval eventsim.Time
+	// WrapClock, when set, wraps the clock that drives the poll, reseed
+	// and deploy callbacks before the loop is scheduled — the hook the
+	// fault injector (internal/faults) uses to stall or delay polls.
+	// The watchdog deliberately stays on the unwrapped clock: it is the
+	// supervision layer that must keep observing while the loop it
+	// guards is being stalled.
+	WrapClock func(Clock) Clock
 }
 
 // DefaultConfig mirrors the paper's simulation setup: 10 clusters over
@@ -143,6 +162,12 @@ func (c *Config) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("core: Shards %d < 0", c.Shards)
 	}
+	if c.FailOpenAfter < 0 {
+		return fmt.Errorf("core: FailOpenAfter %v < 0", c.FailOpenAfter)
+	}
+	if c.WatchdogInterval < 0 {
+		return fmt.Errorf("core: WatchdogInterval %v < 0", c.WatchdogInterval)
+	}
 	return nil
 }
 
@@ -152,6 +177,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueBytes == 0 {
 		c.QueueBytes = 64 << 10
+	}
+	if c.WatchdogInterval == 0 {
+		c.WatchdogInterval = c.PollInterval
 	}
 	return c
 }
@@ -196,10 +224,20 @@ type Turbo struct {
 }
 
 // New builds an ACC-Turbo instance on the given engine and schedules
-// its control loop.
+// its control loop. It panics on an invalid configuration; NewE is the
+// error-returning variant for runtime paths.
 func New(eng *eventsim.Engine, cfg Config) *Turbo {
-	if err := cfg.Validate(); err != nil {
+	t, err := NewE(eng, cfg)
+	if err != nil {
 		panic(err)
+	}
+	return t
+}
+
+// NewE is New returning configuration errors instead of panicking.
+func NewE(eng *eventsim.Engine, cfg Config) (*Turbo, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	t := &Turbo{
@@ -207,23 +245,39 @@ func New(eng *eventsim.Engine, cfg Config) *Turbo {
 		dp:  NewDataplane(cfg, false),
 	}
 	t.prio = queue.NewPriority(cfg.NumQueues, cfg.QueueBytes, t.classify)
-	t.cp = NewControlPlane(t.dp, SimClock{Eng: eng}, cfg)
+	cp, err := NewControlPlaneE(t.dp, SimClock{Eng: eng}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.cp = cp
 	t.cp.OnDeploy = func(dec *Decision) {
 		t.Deployments++
 		t.LastDecision = dec
 	}
 	t.cp.Start()
-	return t
+	return t, nil
 }
 
 // Attach builds a port whose qdisc is the ACC-Turbo priority scheduler.
 // The clustering stage runs inside the qdisc's classifier — the
 // explicit assignment→queue flow of Dataplane.Classify — so no ingress
-// stage is needed.
+// stage is needed. It panics on an invalid configuration; AttachE is
+// the error-returning variant.
 func Attach(eng *eventsim.Engine, rateBits float64, rec *netsim.Recorder, cfg Config) (*netsim.Port, *Turbo) {
 	t := New(eng, cfg)
 	port := netsim.NewPort(eng, t.prio, rateBits, rec)
 	return port, t
+}
+
+// AttachE is Attach returning configuration errors instead of
+// panicking.
+func AttachE(eng *eventsim.Engine, rateBits float64, rec *netsim.Recorder, cfg Config) (*netsim.Port, *Turbo, error) {
+	t, err := NewE(eng, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	port := netsim.NewPort(eng, t.prio, rateBits, rec)
+	return port, t, nil
 }
 
 // Qdisc exposes the strict-priority scheduler for custom wiring.

@@ -88,6 +88,7 @@ func All() []Experiment {
 		{ID: "ablations", Title: "Extension: design-knob ablations", Run: Ablations},
 		{ID: "pushback", Title: "Extension: original-ACC pushback vs local ACC", Run: PushbackExperiment},
 		{ID: "schedulers", Title: "Extension: §5.1 scheduler realizations (PIFO / SP-PIFO / AIFO)", Run: Schedulers},
+		{ID: "chaos", Title: "Extension: pulse-wave under injected faults (fail-open chaos harness)", Run: Chaos},
 		{ID: "tcp", Title: "Extension: closed-loop AIMD background under a pulse wave", Run: TCPExperiment},
 	}
 }

@@ -1,0 +1,62 @@
+package faults
+
+import (
+	"accturbo/internal/eventsim"
+	"accturbo/internal/telemetry"
+)
+
+// FaultySink wraps a telemetry.Sink and silently discards each write
+// with the spec's sinkfail probability, modeling a lossy or overloaded
+// metrics pipeline. Discards are counted on the injector, so a chaos
+// run can report exactly how much accounting it lost — and tests can
+// assert the defense's behavior (as opposed to its observability)
+// never depended on sink writes succeeding.
+type FaultySink struct {
+	inner telemetry.Sink
+	p     float64
+	inj   *Injector
+}
+
+var _ telemetry.Sink = (*FaultySink)(nil)
+
+// WrapSink wraps s with the spec's sink-failure fault, or returns s
+// unchanged when the spec has none. The RNG stream is the injector's
+// sink stream, independent of packet mangling.
+func (inj *Injector) WrapSink(s telemetry.Sink) telemetry.Sink {
+	if inj.spec.SinkFailP <= 0 {
+		return s
+	}
+	return &FaultySink{inner: telemetry.OrNop(s), p: inj.spec.SinkFailP, inj: inj}
+}
+
+func (fs *FaultySink) fail() bool {
+	if fs.inj.sinkRNG.prob(fs.p) {
+		fs.inj.SinkWritesFailed.Inc()
+		return true
+	}
+	return false
+}
+
+// RecordEnqueue implements telemetry.Sink.
+func (fs *FaultySink) RecordEnqueue(now eventsim.Time, pktBytes, depthPkts, depthBytes int) {
+	if fs.fail() {
+		return
+	}
+	fs.inner.RecordEnqueue(now, pktBytes, depthPkts, depthBytes)
+}
+
+// RecordDequeue implements telemetry.Sink.
+func (fs *FaultySink) RecordDequeue(now eventsim.Time, pktBytes, depthPkts, depthBytes int) {
+	if fs.fail() {
+		return
+	}
+	fs.inner.RecordDequeue(now, pktBytes, depthPkts, depthBytes)
+}
+
+// RecordDrop implements telemetry.Sink.
+func (fs *FaultySink) RecordDrop(now eventsim.Time, pktBytes int, reason uint8) {
+	if fs.fail() {
+		return
+	}
+	fs.inner.RecordDrop(now, pktBytes, reason)
+}

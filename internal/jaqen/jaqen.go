@@ -146,10 +146,21 @@ type Jaqen struct {
 }
 
 // Attach wires Jaqen into the port's ingress pipeline and schedules its
-// controller loop.
+// controller loop. It panics on an invalid configuration; AttachE is
+// the error-returning variant for runtime paths.
 func Attach(eng *eventsim.Engine, port *netsim.Port, cfg Config) *Jaqen {
-	if err := cfg.Validate(); err != nil {
+	j, err := AttachE(eng, port, cfg)
+	if err != nil {
 		panic(err)
+	}
+	return j
+}
+
+// AttachE is Attach returning configuration errors instead of
+// panicking. Nothing is wired to the port or engine when it errors.
+func AttachE(eng *eventsim.Engine, port *netsim.Port, cfg Config) (*Jaqen, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	j := &Jaqen{
 		cfg:             cfg,
@@ -169,7 +180,7 @@ func Attach(eng *eventsim.Engine, port *netsim.Port, cfg Config) *Jaqen {
 		reset = cfg.Window
 	}
 	eng.Every(reset, func(now eventsim.Time) { j.cm.Reset() })
-	return j
+	return j, nil
 }
 
 // key extracts the configured signature from a packet.

@@ -66,6 +66,11 @@ type Port struct {
 	ingress []Ingress
 	acct    Accounting // never nil; see Accounting
 	busy    bool
+	// down marks the link failed (administratively or by fault
+	// injection). While down, arrivals drop with queue.DropLinkDown and
+	// the transmitter stays idle; already-queued packets survive and
+	// drain when the link recovers.
+	down bool
 	// inflight is the packet currently serializing; the transmit-done
 	// event carries the Port itself, so per-packet transmission needs
 	// no closure.
@@ -151,6 +156,27 @@ func (p *Port) release(pkt *packet.Packet) {
 // RateBits returns the configured line rate.
 func (p *Port) RateBits() float64 { return p.rate }
 
+// LinkUp reports whether the link is up. Ports start up.
+func (p *Port) LinkUp() bool { return !p.down }
+
+// SetLinkState fails or restores the link at virtual time now. While
+// down, every arriving packet is dropped with queue.DropLinkDown —
+// recorded through the same accounting path as qdisc drops, but under
+// its own reason so fault-induced loss stays distinguishable from
+// congestion loss — and the transmitter idles. Restoring the link
+// resumes draining whatever the qdisc still holds. A packet already
+// serializing when the link fails completes (the loss of a single
+// in-flight frame is below the model's resolution).
+func (p *Port) SetLinkState(now eventsim.Time, up bool) {
+	if p.down == !up {
+		return // no transition
+	}
+	p.down = !up
+	if up {
+		p.pump(now)
+	}
+}
+
 // Qdisc returns the attached discipline.
 func (p *Port) Qdisc() queue.Qdisc { return p.qdisc }
 
@@ -180,6 +206,15 @@ func (p *Port) AddIngress(f Ingress) {
 func (p *Port) Inject(now eventsim.Time, pkt *packet.Packet) {
 	p.acct.Arrival(now, pkt)
 	p.offered.Observe(now, 1, uint64(pkt.Size()))
+	if p.down {
+		p.stats.RecordDrop(now, pkt.Size(), uint8(queue.DropLinkDown))
+		p.acct.Dropped(now, pkt, queue.DropLinkDown)
+		if p.Dropped != nil {
+			p.Dropped(now, pkt)
+		}
+		p.release(pkt)
+		return
+	}
 	for _, stage := range p.ingress {
 		if !stage(now, pkt) {
 			p.stats.RecordDrop(now, pkt.Size(), uint8(queue.DropPolicer))
@@ -200,7 +235,7 @@ func (p *Port) Inject(now eventsim.Time, pkt *packet.Packet) {
 
 // pump starts transmitting if the line is idle.
 func (p *Port) pump(now eventsim.Time) {
-	if p.busy {
+	if p.busy || p.down {
 		return
 	}
 	pkt := p.qdisc.Dequeue(now)

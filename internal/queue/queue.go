@@ -31,6 +31,11 @@ const (
 	DropPushOut
 	// DropPolicer means a rate limiter or filter rejected the packet.
 	DropPolicer
+	// DropLinkDown means the output port's link was down (failed or
+	// fault-injected) when the packet arrived. Kept distinct from
+	// DropTail so fault-induced loss never masquerades as congestion
+	// loss in telemetry.
+	DropLinkDown
 )
 
 // String names the drop reason.
@@ -46,6 +51,8 @@ func (r DropReason) String() string {
 		return "push-out"
 	case DropPolicer:
 		return "policer"
+	case DropLinkDown:
+		return "link-down"
 	default:
 		return fmt.Sprintf("reason(%d)", uint8(r))
 	}
