@@ -21,9 +21,7 @@
 package accturbo
 
 import (
-	"fmt"
 	"io"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -157,9 +155,15 @@ func (d *Defense) describe() {
 		}
 		return 0
 	})
+	d.reg.CounterFunc("accturbo_ingest_rejected", func() uint64 {
+		if in := d.ingest.Load(); in != nil {
+			return in.rejected.Value()
+		}
+		return 0
+	})
 	d.reg.GaugeFunc("accturbo_ingest_depth", func() float64 {
 		if in := d.ingest.Load(); in != nil {
-			return float64(len(in.ch))
+			return float64(in.depth())
 		}
 		return 0
 	})
@@ -300,99 +304,16 @@ func (d *Defense) Poll() {
 	d.cp.Step(now)
 }
 
-// ingestStage is the bounded real-time ingest queue: a fixed-capacity
-// channel drained by a worker pool. When the channel is full, Offer
-// sheds the packet and counts it instead of growing without bound or
-// blocking the capture path — overload degrades visibly (shed counter,
-// depth gauge) rather than by latency collapse or OOM.
-type ingestStage struct {
-	ch       chan *Packet
-	capacity int
-	wg       sync.WaitGroup
-	shed     telemetry.Counter
-
-	mu     sync.RWMutex // guards closed against concurrent Offer
-	closed bool
-}
-
-// EnableIngest starts the bounded ingest stage on a real-time pipeline:
-// `workers` goroutines drain a queue of the given capacity into the
-// data plane. After this, feed packets with Offer; Close drains the
-// queue before stopping the control loop. It errors in deterministic
-// mode (whose single-threaded Process needs no queue) and when called
-// twice.
-func (d *Defense) EnableIngest(capacity, workers int) error {
-	if d.clock == nil {
-		return fmt.Errorf("accturbo: EnableIngest requires the real-time pipeline")
-	}
-	if capacity <= 0 || workers <= 0 {
-		return fmt.Errorf("accturbo: EnableIngest(%d, %d): capacity and workers must be positive", capacity, workers)
-	}
-	in := &ingestStage{ch: make(chan *Packet, capacity), capacity: capacity}
-	if !d.ingest.CompareAndSwap(nil, in) {
-		return fmt.Errorf("accturbo: ingest already enabled")
-	}
-	for w := 0; w < workers; w++ {
-		in.wg.Add(1)
-		go func() {
-			defer in.wg.Done()
-			for p := range in.ch {
-				d.dp.Classify(p)
-			}
-		}()
-	}
-	return nil
-}
-
-// Offer hands a packet to the bounded ingest stage without blocking:
-// it returns false — and counts the packet as shed — when the queue is
-// full (backpressure) or already closed. Safe from any goroutine.
-// Callers that must not lose packets should treat false as "slow down",
-// not "retry immediately".
-func (d *Defense) Offer(p *Packet) bool {
-	in := d.ingest.Load()
-	if in == nil {
-		panic("accturbo: Offer before EnableIngest")
-	}
-	in.mu.RLock()
-	defer in.mu.RUnlock()
-	if in.closed {
-		in.shed.Inc()
-		return false
-	}
-	select {
-	case in.ch <- p:
-		return true
-	default:
-		in.shed.Inc()
-		return false
-	}
-}
-
-// IngestShed returns the number of packets Offer had to shed. Zero
-// until EnableIngest.
-func (d *Defense) IngestShed() uint64 {
-	if in := d.ingest.Load(); in != nil {
-		return in.shed.Value()
-	}
-	return 0
-}
-
 // Close stops the pipeline. The ingest stage (when enabled) is drained
-// first — every accepted Offer is classified before the control loop
-// stops, so PacketsObserved + IngestShed equals the total number of
-// Offer calls once Close returns. Required in real-time mode to
-// release its timers; a no-op in deterministic mode.
+// first — every accepted Offer and OfferFrame is classified before the
+// control loop stops, so PacketsObserved + IngestShed equals the total
+// number of accepted-or-shed offers once Close returns. Wire-speed
+// lanes must have stopped offering and Flushed before Close (see
+// IngestLane). Required in real-time mode to release its timers; a
+// no-op in deterministic mode.
 func (d *Defense) Close() {
 	if in := d.ingest.Load(); in != nil {
-		in.mu.Lock()
-		alreadyClosed := in.closed
-		in.closed = true
-		in.mu.Unlock()
-		if !alreadyClosed {
-			close(in.ch)
-			in.wg.Wait()
-		}
+		in.close()
 	}
 	d.cp.Stop()
 	if d.clock != nil {
@@ -431,7 +352,7 @@ func (d *Defense) Health() Health {
 		PacketsObserved: d.dp.Observed(),
 	}
 	if in := d.ingest.Load(); in != nil {
-		h.IngestDepth = len(in.ch)
+		h.IngestDepth = in.depth()
 		h.IngestCapacity = in.capacity
 		h.IngestShed = in.shed.Value()
 	}

@@ -15,6 +15,12 @@
 //     the pipeline absorbs them and the control loop polls on real
 //     time — the software-router deployment shape, reported with
 //     ingest throughput.
+//   - Wire-speed replay (-replay, implies -realtime): the capture is
+//     memory-mapped and raw frames stream through an exclusive
+//     lock-free ingest lane — fused feature decode, no Packet structs,
+//     no copies — the fastest path through the pipeline, reported in
+//     Mpps. -replay-loops repeats the capture to lengthen the
+//     measurement. Lossless: backpressure retries instead of shedding.
 //
 // Chaos testing: -chaos-seed and -fault-spec inject deterministic
 // faults (packet drop/duplicate/corrupt at the capture stream,
@@ -29,6 +35,7 @@
 //	accturbo-defend -in day.pcap                    # aggregate report
 //	accturbo-defend -in day.pcap -verdicts out.csv  # per-packet verdicts
 //	accturbo-defend -in day.pcap -realtime -shards 4
+//	accturbo-defend -in day.pcap -replay -replay-loops 4
 //	accturbo-defend -in day.pcap -realtime -metrics-addr :9100
 //	accturbo-defend -in day.pcap -chaos-seed 7 -fault-spec 'drop:p=0.01;stall:at=5s,for=2s' -fail-open-after 3s
 package main
@@ -37,10 +44,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,20 +77,32 @@ func main() {
 	pollMs := flag.Int("poll", 250, "controller poll interval (ms)")
 	reseedMs := flag.Int("reseed", 1000, "cluster re-initialization period (ms, 0 = never)")
 	realtime := flag.Bool("realtime", false, "run the wall-clock pipeline instead of deterministic replay")
+	replay := flag.Bool("replay", false, "wire-speed frame replay: memory-map the capture and stream raw frames through a lock-free ingest lane (implies -realtime; lossless, retries under backpressure)")
+	replayLoops := flag.Int("replay-loops", 1, "passes over the capture in -replay mode")
 	shards := flag.Int("shards", 1, "data-plane clustering shards (> 1 implies -realtime)")
 	ingest := flag.Int("ingest", runtime.GOMAXPROCS(0), "ingest goroutines in real-time mode")
-	ingestQueue := flag.Int("ingest-queue", 4096, "bounded ingest queue capacity in real-time mode (overflow is shed, not buffered)")
+	ingestQueue := flag.Int("ingest-queue", 8192, "bounded ingest queue capacity in real-time mode (overflow is shed, not buffered)")
 	batchSize := flag.Int("batch", 0, "feed packets through ObserveBatch in batches of this size (0 = per-packet; incompatible with -verdicts)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /health on this address (e.g. :9100) while processing")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "seed for deterministic fault injection (used with -fault-spec)")
 	faultSpec := flag.String("fault-spec", "", "fault plan, e.g. 'drop:p=0.01;dup:p=0.005;stall:at=5s,for=2s' (see internal/faults)")
 	failOpenAfter := flag.Duration("fail-open-after", 0, "watchdog staleness bound: revert to uniform priority when no decision deploys for this long (0 = disabled)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the processing loop to this file")
 	flag.Parse()
 	if *in == "" {
 		fatal(2, "missing -in capture")
 	}
 	if *shards > 1 {
 		*realtime = true
+	}
+	if *replay {
+		*realtime = true
+		if *verdictsOut != "" || *batchSize > 1 || *faultSpec != "" {
+			fatal(2, "-replay streams raw frames and cannot be combined with -verdicts, -batch, or -fault-spec")
+		}
+		if *replayLoops < 1 {
+			fatal(2, "-replay-loops must be at least 1")
+		}
 	}
 	if *batchSize > 1 && *verdictsOut != "" {
 		fatal(2, "-batch cannot be combined with -verdicts: the batch path reports queue counts, not per-packet distances")
@@ -96,14 +117,27 @@ func main() {
 		injector = faults.New(*chaosSeed, spec)
 	}
 
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(1, err)
-	}
-	defer f.Close()
-	r, err := pcap.NewReader(f)
-	if err != nil {
-		fatal(1, err)
+	// The replay path maps the capture instead of streaming it; frames
+	// stay valid until the mapping closes, which the deferred Close runs
+	// after the pipeline has drained.
+	var r *pcap.Reader
+	var mapped *pcap.MappedReader
+	if *replay {
+		mapped, err = pcap.OpenMapped(*in)
+		if err != nil {
+			fatal(1, err)
+		}
+		defer mapped.Close()
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(1, err)
+		}
+		defer f.Close()
+		r, err = pcap.NewReader(f)
+		if err != nil {
+			fatal(1, err)
+		}
 	}
 
 	cfg := accturbo.HardwareConfig()
@@ -225,6 +259,18 @@ func main() {
 		}
 	}
 
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(1, err)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(1, err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	n := 0
 	start := time.Now()
 	useBatch := *batchSize > 1
@@ -232,7 +278,49 @@ func main() {
 	// scheduling distribution is recovered from the data plane's routed
 	// counters afterwards.
 	fromRouted := false
+	var replayRetries, replayRejected uint64
 	switch {
+	case *replay:
+		// Wire-speed frame replay: raw frames stream zero-copy out of
+		// the mapped capture into an exclusive SPSC lane, with batched
+		// publish; the per-shard consumers run the fused decode. A full
+		// ring flushes and yields (the consumers need the core) rather
+		// than shedding, so the measured rate is lossless.
+		fromRouted = true
+		if err := d.EnableIngest(*ingestQueue, 1); err != nil {
+			fatal(2, err)
+		}
+		lane := d.Lane(0)
+		for loop := 0; loop < *replayLoops; loop++ {
+			mapped.Reset()
+			for {
+				_, frame, err := mapped.NextFrame()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					fatal(1, err)
+				}
+			offer:
+				for {
+					switch lane.OfferFrame(frame) {
+					case accturbo.OfferAccepted:
+						n++
+						break offer
+					case accturbo.OfferRejected:
+						replayRejected++
+						break offer
+					case accturbo.OfferFull:
+						replayRetries++
+						lane.Flush()
+						runtime.Gosched()
+					default: // OfferClosed: nothing more will be accepted
+						fatal(1, "ingest closed mid-replay")
+					}
+				}
+			}
+		}
+		lane.Flush()
 	case *realtime && useBatch:
 		// Batched real-time ingest: whole batches fan out to the
 		// workers, so each worker amortizes the shard locks and counter
@@ -368,6 +456,11 @@ func main() {
 	}
 
 	fmt.Printf("processed %d packets from %s\n", n, *in)
+	if *replay {
+		rate := float64(n) / elapsed.Seconds()
+		fmt.Printf("replay mode: %d frames over %d pass(es) in %.2fs — %.2f Mpps (%d malformed rejected, %d backpressure retries)\n",
+			n, *replayLoops, elapsed.Seconds(), rate/1e6, replayRejected, replayRetries)
+	}
 	if *realtime {
 		rate := float64(n) / elapsed.Seconds()
 		fmt.Printf("real-time mode: %d shards, %d ingest goroutines, %.0f pkts/s wall, %d deployments, %d observed, %d shed\n",

@@ -32,6 +32,7 @@ func (o *Online) selectKernels() {
 			o.dist = manhattanPointScaled
 		} else {
 			o.dist = manhattanPointRaw
+			o.rawManhattan = true
 		}
 	case Anime:
 		o.dist, o.merge = animePoint, animeMerge

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"accturbo/internal/packet"
+)
+
+// TestObserveFeaturesMatchesObserve drives two identically configured
+// clusterers with the same packet stream — one through Observe, one
+// through ObserveFeatures on pre-extracted values — and requires
+// bit-identical assignments, snapshots, and counters. The two entry
+// points share one implementation, so this is a regression gate on
+// that sharing, across every distance/search combination.
+func TestObserveFeaturesMatchesObserve(t *testing.T) {
+	fs := packet.DefaultSimulationFeatures()
+	combos := []struct {
+		dist   Distance
+		search Search
+	}{
+		{Manhattan, Fast},
+		{Manhattan, Exhaustive},
+		{Anime, Fast},
+		{Euclidean, Fast},
+		{Euclidean, Exhaustive},
+	}
+	r := rand.New(rand.NewSource(7))
+	pkts := make([]*packet.Packet, 2000)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{
+			SrcIP:    packet.V4(10, byte(r.Intn(4)), byte(r.Intn(8)), byte(r.Intn(256))),
+			DstIP:    packet.V4(198, 18, byte(r.Intn(4)), byte(r.Intn(16))),
+			Protocol: packet.ProtoUDP,
+			SrcPort:  uint16(r.Intn(2048)), DstPort: uint16(53 + r.Intn(4)),
+			TTL: uint8(32 + r.Intn(64)), Length: uint16(60 + r.Intn(1200)),
+			Label: packet.Label(r.Intn(2)),
+		}
+	}
+	for _, combo := range combos {
+		cfg := DefaultConfig(8, fs)
+		cfg.Distance = combo.dist
+		cfg.Search = combo.search
+		byPacket := NewOnline(cfg)
+		byValues := NewOnline(cfg)
+		vals := make([]uint32, len(fs))
+		for i, p := range pkts {
+			want := byPacket.Observe(p)
+			fs.Extract(p, vals)
+			got := byValues.ObserveFeatures(vals, uint64(p.Size()), p.Label == packet.Malicious)
+			if got != want {
+				t.Fatalf("%v/%v: packet %d assignment %+v via features, %+v via packet",
+					combo.dist, combo.search, i, got, want)
+			}
+		}
+		if byPacket.Observed != byValues.Observed {
+			t.Fatalf("%v/%v: observed %d vs %d", combo.dist, combo.search, byValues.Observed, byPacket.Observed)
+		}
+		a, b := byPacket.Snapshot(), byValues.Snapshot()
+		for i := range a {
+			ia, ib := a[i], b[i]
+			if ia.Packets != ib.Packets || ia.Bytes != ib.Bytes ||
+				ia.Benign != ib.Benign || ia.Malicious != ib.Malicious ||
+				ia.TotalPackets != ib.TotalPackets || ia.Size != ib.Size {
+				t.Fatalf("%v/%v: cluster %d snapshot diverged: %+v vs %+v",
+					combo.dist, combo.search, i, ib, ia)
+			}
+			for f := range ia.Ranges {
+				if ia.Ranges[f] != ib.Ranges[f] {
+					t.Fatalf("%v/%v: cluster %d range %d diverged", combo.dist, combo.search, i, f)
+				}
+			}
+		}
+	}
+}
+
+// TestObserveFeaturesWrongArity: a values slice that does not match the
+// configured feature set is a caller bug and must fail loudly.
+func TestObserveFeaturesWrongArity(t *testing.T) {
+	o := NewOnline(DefaultConfig(4, twoFeatures()))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short values slice did not panic")
+		}
+	}()
+	o.ObserveFeatures([]uint32{1}, 100, false)
+}
+
+// TestObserveFeaturesZeroAlloc gates the fused entry point like the
+// packet one: steady state allocates nothing.
+func TestObserveFeaturesZeroAlloc(t *testing.T) {
+	fs := packet.DefaultSimulationFeatures()
+	o := NewOnline(DefaultConfig(8, fs))
+	vals := make([]uint32, len(fs))
+	p := mkPkt(64, 500, packet.Benign)
+	fs.Extract(p, vals)
+	o.ObserveFeatures(vals, 500, false)
+	allocs := testing.AllocsPerRun(200, func() {
+		vals[0] = (vals[0] + 1) % 200
+		o.ObserveFeatures(vals, 500, false)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveFeatures allocates %v per op, want 0", allocs)
+	}
+}

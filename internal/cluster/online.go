@@ -52,6 +52,10 @@ type Online struct {
 
 	dist  pointKernel
 	merge mergeKernel
+	// rawManhattan marks the deployable fast configuration (Manhattan,
+	// unnormalized): closest then runs a fused scan with the kernel
+	// inlined instead of an indirect call per cluster.
+	rawManhattan bool
 
 	// Exhaustive-search cache: pairCost[i*stride+j] is the merge cost
 	// of clusters i and j; rowDirty[i] marks clusters whose geometry
@@ -350,13 +354,13 @@ func (o *Online) mergeClusters(di, si int) {
 	o.markDirty(di)
 }
 
-// account records a packet's traffic statistics against the cluster.
-func (c *clusterState) account(p *packet.Packet) {
+// account records one packet's traffic statistics against the cluster.
+func (c *clusterState) account(size uint64, malicious bool) {
 	c.count++
 	c.packets++
 	c.totalPackets++
-	c.bytes += uint64(p.Size())
-	if p.Label == packet.Malicious {
+	c.bytes += size
+	if malicious {
 		c.malicious++
 	} else {
 		c.benign++
@@ -367,14 +371,33 @@ func (c *clusterState) account(p *packet.Packet) {
 // cluster (seeding or merging per the search strategy) and extend it to
 // cover p.
 func (o *Online) Observe(p *packet.Packet) Assignment {
-	o.Observed++
 	vals := o.feats.Extract(p, o.valbuf)
+	return o.observe(vals, uint64(p.Size()), p.Label == packet.Malicious)
+}
+
+// ObserveFeatures is Observe for a packet already reduced to its
+// feature values — the wire-speed ingest entry point, fed by the fused
+// frame decoder (packet.DecodeFeatures) so no Packet is ever
+// materialized. vals must hold exactly the configured feature set's
+// values in set order; size is the wire length in bytes. Both paths
+// share one implementation, so assignments are bit-identical to
+// Observe on the equivalent packet. vals is only read.
+func (o *Online) ObserveFeatures(vals []uint32, size uint64, malicious bool) Assignment {
+	if len(vals) != o.nf {
+		panic("cluster: ObserveFeatures values do not match the configured feature set")
+	}
+	return o.observe(vals, size, malicious)
+}
+
+// observe is the shared step behind Observe and ObserveFeatures.
+func (o *Online) observe(vals []uint32, size uint64, malicious bool) Assignment {
+	o.Observed++
 
 	// Seed phase: the first |C| distinct arrivals each start a cluster
 	// (unless an existing cluster already covers the packet exactly).
 	if len(o.clusters) < o.cfg.MaxClusters {
 		if id, d := o.closest(vals); id >= 0 && d == 0 {
-			o.clusters[id].account(p)
+			o.clusters[id].account(size, malicious)
 			// Euclidean merge costs depend on cluster weights, which
 			// account just changed.
 			o.markDirty(id)
@@ -382,7 +405,7 @@ func (o *Online) Observe(p *packet.Packet) Assignment {
 		}
 		slot := len(o.clusters)
 		c := o.newClusterAt(slot, vals)
-		c.account(p)
+		c.account(size, malicious)
 		c.count-- // account() bumped it; seed already counted once
 		o.clusters = append(o.clusters, c)
 		return Assignment{Cluster: slot, UID: c.uid, Created: true}
@@ -399,7 +422,7 @@ func (o *Online) Observe(p *packet.Packet) Assignment {
 		if mi >= 0 && md < d {
 			o.mergeClusters(mi, mj)
 			c := o.newClusterAt(mj, vals)
-			c.account(p)
+			c.account(size, malicious)
 			c.count--
 			o.clusters[mj] = c
 			return Assignment{Cluster: mj, UID: c.uid, Distance: 0, Created: true}
@@ -411,7 +434,7 @@ func (o *Online) Observe(p *packet.Packet) Assignment {
 		// Center representations update even for covered packets.
 		o.absorb(id, vals)
 	}
-	c.account(p)
+	c.account(size, malicious)
 	return Assignment{Cluster: id, UID: c.uid, Distance: d}
 }
 
@@ -421,11 +444,47 @@ func (o *Online) Observe(p *packet.Packet) Assignment {
 // The running best distance is passed to the kernel as a bound so
 // monotone metrics can bail out of losing clusters early.
 func (o *Online) closest(vals []uint32) (int, float64) {
+	if o.rawManhattan {
+		return o.closestManhattanRaw(vals)
+	}
 	best, bestD := -1, math.Inf(1)
 	for i := range o.clusters {
 		d := o.dist(o, vals, i, bestD)
 		if d < bestD {
 			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// closestManhattanRaw is closest with manhattanPointRaw fused into the
+// scan: no indirect kernel call per cluster, no per-call slice
+// re-derivation. Accumulation order and comparisons are identical to
+// the generic path, so it returns bit-identical results (asserted by
+// the fast-path equivalence tests).
+func (o *Online) closestManhattanRaw(vals []uint32) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	nf := o.nf
+	for ci := range o.clusters {
+		base := ci * nf
+		c := o.clusters[ci]
+		var d float64
+		for i, v := range vals {
+			if o.nominal[i] {
+				if !nomContains(c, i, v) {
+					d++
+				}
+			} else if mn := o.min[base+i]; v < mn {
+				d += float64(mn - v)
+			} else if mx := o.max[base+i]; v > mx {
+				d += float64(v - mx)
+			}
+			if d >= bestD {
+				break
+			}
+		}
+		if d < bestD {
+			best, bestD = ci, d
 		}
 	}
 	return best, bestD

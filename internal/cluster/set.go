@@ -20,6 +20,14 @@ type nominalSet struct {
 	bits  []uint64 // exact bitmap, non-nil once spilled
 	n     int      // cardinality
 	space uint32   // value-space size (Feature.MaxValue()+1)
+
+	// One-entry membership memo: real traffic repeats the same handful
+	// of nominal values back to back (one protocol, a few ports), so
+	// most contains calls short-circuit here instead of re-running the
+	// search. memoV is only trusted while memoOK; insert refreshes it.
+	memoV  uint32
+	memoIn bool
+	memoOK bool
 }
 
 // smallSetMax is the cardinality at which a set spills from the sorted
@@ -30,10 +38,21 @@ const smallSetMax = 64
 // init prepares an empty set over a value space of the given size.
 func (s *nominalSet) init(space uint32) {
 	s.small, s.bits, s.n, s.space = s.small[:0], nil, 0, space
+	s.memoOK = false
 }
 
 // contains reports whether v is admitted.
 func (s *nominalSet) contains(v uint32) bool {
+	if s.memoOK && v == s.memoV {
+		return s.memoIn
+	}
+	in := s.lookup(v)
+	s.memoV, s.memoIn, s.memoOK = v, in, true
+	return in
+}
+
+// lookup is the memo-less membership probe.
+func (s *nominalSet) lookup(v uint32) bool {
 	if s.bits != nil {
 		return s.bits[v>>6]&(1<<(v&63)) != 0
 	}
@@ -49,8 +68,11 @@ func (s *nominalSet) contains(v uint32) bool {
 	return lo < len(s.small) && s.small[lo] == v
 }
 
-// insert admits v, reporting whether it was newly added.
+// insert admits v, reporting whether it was newly added. Either way v
+// is a member afterwards, so the memo is refreshed rather than
+// invalidated.
 func (s *nominalSet) insert(v uint32) bool {
+	s.memoV, s.memoIn, s.memoOK = v, true, true
 	if s.bits != nil {
 		w, m := v>>6, uint64(1)<<(v&63)
 		if s.bits[w]&m != 0 {

@@ -77,7 +77,13 @@ const countStripes = 8
 // concurrent writers to one shard spread across cache lines. Any value
 // is correct — stripes only partition the same aggregated total.
 func stripeOf(si int, p *packet.Packet) int {
-	return si*countStripes + int(p.SrcPort)&(countStripes-1)
+	return stripeOfPort(si, p.SrcPort)
+}
+
+// stripeOfPort is stripeOf keyed directly by a source port, for the
+// frame path where no Packet exists.
+func stripeOfPort(si int, sport uint16) int {
+	return si*countStripes + int(sport)&(countStripes-1)
 }
 
 // shard is one independent clustering pipeline. The mutex is only taken
@@ -146,26 +152,20 @@ func (d *Dataplane) ShardOf(p *packet.Packet) int {
 	return int(flowHash(p) % uint32(len(d.shards)))
 }
 
-// flowHash is FNV-1a over (src IP, dst IP, proto, sport, dport).
+// flowHash is FNV-1a over (src IP, dst IP, proto, sport, dport). It is
+// the struct-side twin of packet.FrameView.FlowHash, so a frame and the
+// packet unmarshaled from it always demux to the same shard.
 func flowHash(p *packet.Packet) uint32 {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	src, dst := p.SrcIP.As4(), p.DstIP.As4()
-	for _, b := range src {
-		h = (h ^ uint32(b)) * prime32
+	return packet.FlowHash(p)
+}
+
+// ShardOfFrame is ShardOf for a raw frame view: the same flow hash over
+// the same 5-tuple, read straight from the frame bytes.
+func (d *Dataplane) ShardOfFrame(v *packet.FrameView) int {
+	if len(d.shards) == 1 {
+		return 0
 	}
-	for _, b := range dst {
-		h = (h ^ uint32(b)) * prime32
-	}
-	h = (h ^ uint32(p.Protocol)) * prime32
-	h = (h ^ uint32(p.SrcPort&0xff)) * prime32
-	h = (h ^ uint32(p.SrcPort>>8)) * prime32
-	h = (h ^ uint32(p.DstPort&0xff)) * prime32
-	h = (h ^ uint32(p.DstPort>>8)) * prime32
-	return h
+	return int(v.FlowHash() % uint32(len(d.shards)))
 }
 
 // Assign runs the clustering stage for one packet on its shard and
@@ -333,7 +333,12 @@ func (d *Dataplane) runShard(si int, pkts []*packet.Packet, seg []int32, queues 
 	} else {
 		first = pkts[seg[0]]
 	}
-	stripe := stripeOf(si, first)
+	d.flushCounts(stripeOf(si, first), sc)
+}
+
+// flushCounts drains a scratch's per-run count accumulators onto one
+// telemetry stripe, zeroing them for the next run.
+func (d *Dataplane) flushCounts(stripe int, sc *batchScratch) {
 	for c, cnt := range sc.assigned {
 		if cnt != 0 {
 			d.assigned.Add(stripe, c, cnt)
@@ -346,6 +351,78 @@ func (d *Dataplane) runShard(si int, pkts []*packet.Packet, seg []int32, queues 
 			sc.routed[q] = 0
 		}
 	}
+}
+
+// ObserveShardPackets runs the full per-packet step over a batch whose
+// packets are already known to demux to shard si — the per-shard ring
+// consumer path, which skips ObserveBatch's grouping pass entirely. The
+// caller is responsible for the demux invariant (ShardOf(p) == si for
+// every packet); breaking it silently degrades clustering quality but
+// nothing else. queues follows the ObserveBatch contract.
+func (d *Dataplane) ObserveShardPackets(si int, pkts []*packet.Packet, queues []int) {
+	n := len(pkts)
+	if n == 0 {
+		return
+	}
+	if queues != nil && len(queues) < n {
+		panic("core: ObserveShardPackets queues shorter than pkts")
+	}
+	qm := *d.queueMap.Load()
+	sc := d.scratch.Get().(*batchScratch)
+	d.runShard(si, pkts, nil, queues, qm, sc)
+	d.scratch.Put(sc)
+}
+
+// FrameFeatures is one wire frame reduced to exactly what the
+// clustering stage consumes: its feature values (the first NF entries,
+// where NF is the configured feature-set length) and its IP total
+// length. The ingest producer fills one per frame with
+// packet.FrameView.Features while the header bytes are still hot in
+// cache, so the classifying consumer never touches frame memory at all.
+type FrameFeatures struct {
+	Vals [packet.NumFeatures]uint32
+	Size uint32
+}
+
+// ObserveShardFrames is ObserveShardPackets for frames already reduced
+// to their feature values: each entry feeds the shard's clusterer
+// through the fused ObserveFeatures path, so no Packet struct is ever
+// materialized. Frames carry no ground-truth label, so all traffic
+// counts as benign in the label telemetry — exactly what a hardware
+// deployment sees. The demux invariant is that every entry's frame
+// hashed to shard si; queues follows the ObserveBatch contract.
+func (d *Dataplane) ObserveShardFrames(si int, frames []FrameFeatures, queues []int) {
+	n := len(frames)
+	if n == 0 {
+		return
+	}
+	if queues != nil && len(queues) < n {
+		panic("core: ObserveShardFrames queues shorter than frames")
+	}
+	qm := *d.queueMap.Load()
+	sc := d.scratch.Get().(*batchScratch)
+	nf := len(d.cfg.Clustering.Features)
+	s := d.shards[si]
+	if d.concurrent {
+		s.mu.Lock()
+	}
+	for i := range frames {
+		f := &frames[i]
+		a := s.clusterer.ObserveFeatures(f.Vals[:nf], uint64(f.Size), false)
+		sc.assigned[a.Cluster]++
+		q := d.queueIn(qm, a.Cluster)
+		sc.routed[q]++
+		if queues != nil {
+			queues[i] = q
+		}
+	}
+	if d.concurrent {
+		s.mu.Unlock()
+	}
+	// One consumer owns a shard, so its stripe block's first stripe is
+	// as good as any and stays on one cache line.
+	d.flushCounts(si*countStripes, sc)
+	d.scratch.Put(sc)
 }
 
 // AssignedCounts returns the per-cluster-slot assignment totals since

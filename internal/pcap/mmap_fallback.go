@@ -1,0 +1,16 @@
+package pcap
+
+import (
+	"fmt"
+	"os"
+)
+
+// openReadAll is the portable MappedReader constructor: the whole
+// capture image is read into memory in one pass.
+func openReadAll(path string) (*MappedReader, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pcap: reading capture: %w", err)
+	}
+	return NewMappedReader(data)
+}

@@ -1,0 +1,10 @@
+//go:build linux
+
+package pcap
+
+import "syscall"
+
+// mmapPopulate prefaults the whole capture into the page table at map
+// time, so replay loops never take minor faults inside the timed
+// iteration. Linux-only; elsewhere the pages fault in lazily.
+const mmapPopulate = syscall.MAP_POPULATE

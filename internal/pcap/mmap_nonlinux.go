@@ -1,0 +1,6 @@
+//go:build unix && !linux
+
+package pcap
+
+// Non-Linux unix has no MAP_POPULATE; pages fault in lazily.
+const mmapPopulate = 0

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package pcap
+
+// OpenMapped returns a MappedReader over the capture file. On platforms
+// without mmap the whole image is read into memory — same zero-copy
+// iteration, one up-front copy.
+func OpenMapped(path string) (*MappedReader, error) {
+	return openReadAll(path)
+}

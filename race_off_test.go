@@ -1,0 +1,7 @@
+//go:build !race
+
+package accturbo
+
+// raceEnabled reports whether the race detector is active; allocation
+// gates skip under -race, where instrumentation skews the counts.
+const raceEnabled = false

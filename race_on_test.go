@@ -1,0 +1,6 @@
+//go:build race
+
+package accturbo
+
+// raceEnabled reports whether the race detector is active.
+const raceEnabled = true

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench` output to the committed BENCH_*.json shape.
+
+Usage: bench_json.py BENCH_foo.txt BENCH_foo.json
+
+Each benchmark line becomes one row:
+
+    {"name": ..., "iterations": ..., "ns_per_op": ...,
+     "bytes_per_op": ..., "allocs_per_op": ...}
+
+Lines without -benchmem columns record 0 bytes/allocs, matching the
+historical inline-CI conversion this script replaces.
+"""
+
+import json
+import re
+import sys
+
+LINE = re.compile(
+    r"(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op"
+    r"(?:\s+(\d+) B/op\s+(\d+) allocs/op)?"
+)
+
+
+def parse(lines):
+    rows = []
+    for line in lines:
+        m = LINE.match(line)
+        if m:
+            rows.append(
+                {
+                    "name": m.group(1),
+                    "iterations": int(m.group(2)),
+                    "ns_per_op": float(m.group(3)),
+                    "bytes_per_op": int(m.group(4) or 0),
+                    "allocs_per_op": int(m.group(5) or 0),
+                }
+            )
+    return rows
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        rows = parse(f)
+    if not rows:
+        print(f"bench_json: no benchmark lines in {argv[1]}", file=sys.stderr)
+        return 1
+    with open(argv[2], "w") as f:
+        json.dump(rows, f, indent=1)
+        f.write("\n")
+    print(f"bench_json: {len(rows)} benchmarks -> {argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Benchmark trend gate: fail CI on a >10% relative regression.
+
+Usage: bench_trend.py BASELINE.json CURRENT.json [...more pairs]
+       bench_trend.py --selftest
+
+Raw ns/op is useless across heterogeneous CI runners, so the gate
+compares *shapes*: each benchmark's current/baseline ns_per_op ratio is
+divided by the median ratio across all shared benchmarks, cancelling
+uniform runner-speed differences. A benchmark whose normalized ratio
+exceeds 1 + TOLERANCE got slower than its peers by more than the
+tolerance — that is a real regression in that code path, whatever the
+runner. Allocations are machine-independent and compared strictly:
+allocs_per_op above baseline fails outright.
+
+Benchmarks present on only one side are reported but never fail the
+gate (renames and additions should not block; the baseline refresh
+catches them). Fewer than 3 shared benchmarks in a file pair falls back
+to raw ratios, since a median over 1-2 points cannot anchor anything.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.10
+
+
+def load(path):
+    with open(path) as f:
+        return {row["name"]: row for row in json.load(f)}
+
+
+def median(xs):
+    s = sorted(xs)
+    n = len(s)
+    return s[n // 2] if n % 2 else (s[n // 2 - 1] + s[n // 2]) / 2
+
+
+def compare(base, cur, label=""):
+    """Return a list of failure strings for one baseline/current pair."""
+    failures = []
+    shared = sorted(set(base) & set(cur))
+    for name in sorted(set(base) ^ set(cur)):
+        side = "baseline" if name in base else "current"
+        print(f"  note: {name} only in {side}; skipped")
+    if not shared:
+        failures.append(f"{label}: no shared benchmarks to compare")
+        return failures
+
+    ratios = {n: cur[n]["ns_per_op"] / base[n]["ns_per_op"] for n in shared}
+    anchor = median(ratios.values()) if len(shared) >= 3 else 1.0
+    if anchor <= 0:
+        anchor = 1.0
+    print(f"  median runner-speed ratio: {anchor:.3f} ({len(shared)} shared)")
+
+    for name in shared:
+        norm = ratios[name] / anchor
+        verdict = "ok"
+        if norm > 1 + TOLERANCE:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{label}{name}: {norm:.2f}x slower than baseline "
+                f"(raw {ratios[name]:.2f}x, runner-normalized)"
+            )
+        ba, ca = base[name]["allocs_per_op"], cur[name]["allocs_per_op"]
+        if ca > ba:
+            verdict = "REGRESSION"
+            failures.append(f"{label}{name}: allocs/op {ba} -> {ca}")
+        print(
+            f"  {name}: {base[name]['ns_per_op']:.1f} -> "
+            f"{cur[name]['ns_per_op']:.1f} ns/op "
+            f"(norm {norm:.2f}x, allocs {ba} -> {ca}) {verdict}"
+        )
+    return failures
+
+
+def selftest():
+    """The gate must fail a synthetic >10% single-benchmark regression
+    and pass a uniform 2x runner slowdown."""
+    base = {
+        f"BenchmarkS{i}": {"name": f"BenchmarkS{i}", "ns_per_op": 100.0, "allocs_per_op": 0}
+        for i in range(5)
+    }
+    slow_runner = {
+        n: {**r, "ns_per_op": r["ns_per_op"] * 2.0} for n, r in base.items()
+    }
+    if compare(base, slow_runner, "selftest-uniform/"):
+        print("selftest: FAIL — uniform runner slowdown flagged as regression")
+        return 1
+    regressed = {
+        n: {**r, "ns_per_op": r["ns_per_op"] * (1.25 if n == "BenchmarkS3" else 1.0)}
+        for n, r in base.items()
+    }
+    fails = compare(base, regressed, "selftest-regression/")
+    if not fails or "BenchmarkS3" not in fails[0]:
+        print("selftest: FAIL — 25% single-benchmark regression not caught")
+        return 1
+    alloc = {n: dict(r) for n, r in base.items()}
+    alloc["BenchmarkS1"]["allocs_per_op"] = 2
+    if not compare(base, alloc, "selftest-allocs/"):
+        print("selftest: FAIL — alloc regression not caught")
+        return 1
+    print("selftest: ok")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--selftest":
+        return selftest()
+    if len(argv) < 3 or len(argv) % 2 != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = []
+    for i in range(1, len(argv), 2):
+        base_path, cur_path = argv[i], argv[i + 1]
+        print(f"comparing {cur_path} against {base_path}:")
+        failures += compare(load(base_path), load(cur_path), f"{base_path}: ")
+    if failures:
+        print("\nbench_trend: FAIL")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nbench_trend: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
