@@ -51,7 +51,28 @@ type (
 	// HistogramSnapshot is a copy-on-read histogram state (see
 	// Metrics.DeployLatencyNs).
 	HistogramSnapshot = telemetry.HistogramSnapshot
+	// RuntimeConfig is the hot-reloadable half of Config (see
+	// Defense.Reconfigure).
+	RuntimeConfig = core.RuntimeConfig
+	// RuntimePatch is a partial RuntimeConfig; nil fields keep their
+	// current value. Its JSON field names are the PUT /config contract
+	// of cmd/accturbo-defend.
+	RuntimePatch = core.RuntimePatch
+	// Ranking selects the cluster-maliciousness estimate (§5.1).
+	Ranking = core.Ranking
 )
+
+// Re-exported ranking algorithms (Fig. 11a).
+const (
+	RankByThroughput         = core.ByThroughput
+	RankByPacketRate         = core.ByPacketRate
+	RankByThroughputOverSize = core.ByThroughputOverSize
+	RankByPacketRateOverSize = core.ByPacketRateOverSize
+)
+
+// ParseRanking maps an operator-facing name ("Th.", "N.P.", "Th./Size",
+// "N.P./Size" or spelled-out aliases) to a Ranking.
+var ParseRanking = core.ParseRanking
 
 // Re-exported feature constants (the subsets the paper deploys).
 var (
@@ -92,6 +113,10 @@ var V4 = packet.V4
 // FromDuration converts a time.Duration into the virtual-time unit
 // used by Config fields (PollInterval, DeployDelay, ReseedInterval).
 var FromDuration = eventsim.FromDuration
+
+// VirtualTime is the virtual-time unit Config and RuntimePatch fields
+// are expressed in; convert with FromDuration and Duration().
+type VirtualTime = eventsim.Time
 
 // DefaultConfig returns the paper's simulation configuration (10
 // clusters, Manhattan distance, fast search, throughput ranking).
@@ -358,6 +383,47 @@ func (d *Defense) Health() Health {
 	}
 	h.Degraded = h.Control.Degraded
 	return h
+}
+
+// Reconfigure applies a runtime-config patch to the live pipeline:
+// ranking strategy, poll interval, deploy delay, reseed interval and
+// fail-open bounds can all change without a restart. The patch is
+// validated against the current config, published atomically (the
+// control loop re-reads it every tick), and the periodic tickers are
+// rescheduled under a bumped generation — no packet is dropped or
+// reclassified, and a deployment already in flight still applies.
+// Structural settings (features, cluster/queue counts, shards) cannot
+// change; build a new Defense for those. It returns the new config
+// generation. Safe from any goroutine.
+func (d *Defense) Reconfigure(patch RuntimePatch) (uint64, error) {
+	return d.cp.Reconfigure(patch)
+}
+
+// Runtime returns the live runtime configuration.
+func (d *Defense) Runtime() RuntimeConfig { return d.cp.Runtime() }
+
+// ConfigGeneration returns the runtime-config version: 1 at
+// construction, +1 per successful Reconfigure (restores count as one).
+func (d *Defense) ConfigGeneration() uint64 { return d.cp.ConfigGeneration() }
+
+// SaveState serializes the full defense state into w: runtime config,
+// the deployed queue map, every shard's learned clusters, the last
+// decision, fail-open status and lifetime counters, framed by a magic/
+// version header and a CRC-32 trailer. Safe on a live pipeline (shards
+// are locked one at a time in concurrent mode); for a quiescent-exact
+// snapshot, stop feeding packets first.
+func (d *Defense) SaveState(w io.Writer) error {
+	return core.SaveState(w, d.dp, d.cp)
+}
+
+// RestoreState loads a SaveState snapshot into this freshly built
+// Defense (same structural config; no packets processed yet). The
+// restored process resumes with the learned clusters, the deployed
+// queue map, and the saved runtime config live immediately — its first
+// control-loop decision ranks the restored aggregates instead of
+// re-converging from scratch.
+func (d *Defense) RestoreState(r io.Reader) error {
+	return core.RestoreState(r, d.dp, d.cp)
 }
 
 // Shards returns the number of data-plane clustering pipelines.

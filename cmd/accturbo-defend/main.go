@@ -30,6 +30,15 @@
 // serves /health (JSON degradation snapshot; 503 while degraded) next
 // to /metrics.
 //
+// Live operations: -metrics-addr also exposes GET/PUT /config (inspect
+// and hot-patch the runtime config — ranking, poll interval, deploy
+// delay, fail-open bound — without dropping a packet) and
+// POST /snapshot (stream a full defense state snapshot). -snapshot-out
+// writes the same snapshot to a file after the capture drains, and
+// -restore loads one before processing so a restarted process resumes
+// with the pre-save deployed decision instead of re-converging; with
+// -restore, -in is optional.
+//
 // Usage:
 //
 //	accturbo-defend -in day.pcap                    # aggregate report
@@ -38,6 +47,8 @@
 //	accturbo-defend -in day.pcap -replay -replay-loops 4
 //	accturbo-defend -in day.pcap -realtime -metrics-addr :9100
 //	accturbo-defend -in day.pcap -chaos-seed 7 -fault-spec 'drop:p=0.01;stall:at=5s,for=2s' -fail-open-after 3s
+//	accturbo-defend -in day.pcap -snapshot-out day.snap
+//	accturbo-defend -restore day.snap -in next.pcap
 package main
 
 import (
@@ -70,6 +81,60 @@ func fatal(code int, v ...any) {
 	os.Exit(code)
 }
 
+// configPatch is the admin wire format for PUT /config: ranking by
+// name (as printed in the paper — "Th.", "N.P.", …) and durations in
+// milliseconds, friendlier for curl than the library's nanosecond
+// virtual-time fields. Absent fields keep their current value.
+type configPatch struct {
+	Ranking    *string  `json:"ranking,omitempty"`
+	PollMs     *float64 `json:"poll_interval_ms,omitempty"`
+	DeployMs   *float64 `json:"deploy_delay_ms,omitempty"`
+	ReseedMs   *float64 `json:"reseed_interval_ms,omitempty"`
+	FailOpenMs *float64 `json:"fail_open_after_ms,omitempty"`
+	WatchdogMs *float64 `json:"watchdog_interval_ms,omitempty"`
+}
+
+func (c configPatch) toRuntimePatch() (accturbo.RuntimePatch, error) {
+	var p accturbo.RuntimePatch
+	if c.Ranking != nil {
+		r, err := accturbo.ParseRanking(*c.Ranking)
+		if err != nil {
+			return p, err
+		}
+		p.Ranking = &r
+	}
+	ms := func(v *float64) *accturbo.VirtualTime {
+		if v == nil {
+			return nil
+		}
+		t := accturbo.FromDuration(time.Duration(*v * float64(time.Millisecond)))
+		return &t
+	}
+	p.PollInterval = ms(c.PollMs)
+	p.DeployDelay = ms(c.DeployMs)
+	p.ReseedInterval = ms(c.ReseedMs)
+	p.FailOpenAfter = ms(c.FailOpenMs)
+	p.WatchdogInterval = ms(c.WatchdogMs)
+	return p, nil
+}
+
+func writeConfig(w http.ResponseWriter, d *accturbo.Defense) {
+	rt := d.Runtime()
+	msOf := func(t accturbo.VirtualTime) float64 {
+		return float64(t.Duration()) / float64(time.Millisecond)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"generation":           d.ConfigGeneration(),
+		"ranking":              rt.Ranking.String(),
+		"poll_interval_ms":     msOf(rt.PollInterval),
+		"deploy_delay_ms":      msOf(rt.DeployDelay),
+		"reseed_interval_ms":   msOf(rt.ReseedInterval),
+		"fail_open_after_ms":   msOf(rt.FailOpenAfter),
+		"watchdog_interval_ms": msOf(rt.WatchdogInterval),
+	})
+}
+
 func main() {
 	in := flag.String("in", "", "input pcap (raw-IP linktype)")
 	verdictsOut := flag.String("verdicts", "", "optional CSV of per-packet verdicts")
@@ -88,9 +153,14 @@ func main() {
 	faultSpec := flag.String("fault-spec", "", "fault plan, e.g. 'drop:p=0.01;dup:p=0.005;stall:at=5s,for=2s' (see internal/faults)")
 	failOpenAfter := flag.Duration("fail-open-after", 0, "watchdog staleness bound: revert to uniform priority when no decision deploys for this long (0 = disabled)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the processing loop to this file")
+	restorePath := flag.String("restore", "", "restore defense state from this snapshot file before processing (see -snapshot-out)")
+	snapshotOut := flag.String("snapshot-out", "", "write a defense state snapshot to this file after the capture drains")
 	flag.Parse()
-	if *in == "" {
-		fatal(2, "missing -in capture")
+	if *in == "" && *restorePath == "" {
+		fatal(2, "missing -in capture (or -restore snapshot)")
+	}
+	if *replay && *in == "" {
+		fatal(2, "-replay needs an -in capture")
 	}
 	if *shards > 1 {
 		*realtime = true
@@ -122,13 +192,14 @@ func main() {
 	// after the pipeline has drained.
 	var r *pcap.Reader
 	var mapped *pcap.MappedReader
-	if *replay {
+	switch {
+	case *replay:
 		mapped, err = pcap.OpenMapped(*in)
 		if err != nil {
 			fatal(1, err)
 		}
 		defer mapped.Close()
-	} else {
+	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
 			fatal(1, err)
@@ -169,6 +240,23 @@ func main() {
 	}
 	defer d.Close()
 
+	// Restore must land before any traffic: the snapshot format refuses a
+	// pipeline that already has history, so a restored process resumes
+	// with the pre-save deployed decision instead of re-converging.
+	if *restorePath != "" {
+		sf, err := os.Open(*restorePath)
+		if err != nil {
+			fatal(1, err)
+		}
+		if err := d.RestoreState(sf); err != nil {
+			sf.Close()
+			fatal(1, "restore:", err)
+		}
+		sf.Close()
+		fmt.Printf("restored state from %s: %d packets observed, %d deployments, runtime config %s/%v poll\n",
+			*restorePath, d.PacketsObserved(), d.Deployments(), d.Runtime().Ranking, d.Runtime().PollInterval.Duration())
+	}
+
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -194,10 +282,47 @@ func main() {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
+		mux.HandleFunc("/config", func(w http.ResponseWriter, req *http.Request) {
+			switch req.Method {
+			case http.MethodGet:
+				writeConfig(w, d)
+			case http.MethodPut:
+				var cp configPatch
+				if err := json.NewDecoder(req.Body).Decode(&cp); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				patch, err := cp.toRuntimePatch()
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+				if _, err := d.Reconfigure(patch); err != nil {
+					http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+					return
+				}
+				writeConfig(w, d)
+			default:
+				http.Error(w, "GET or PUT", http.StatusMethodNotAllowed)
+			}
+		})
+		mux.HandleFunc("/snapshot", func(w http.ResponseWriter, req *http.Request) {
+			if req.Method != http.MethodPost {
+				http.Error(w, "POST", http.StatusMethodNotAllowed)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="defense.snap"`)
+			if err := d.SaveState(w); err != nil {
+				// Headers are gone; the truncated body fails the snapshot's
+				// own checksum on restore, so the client still can't load it.
+				fmt.Fprintln(os.Stderr, "snapshot:", err)
+			}
+		})
 		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		defer srv.Close()
-		fmt.Printf("serving metrics on http://%s/metrics and health on /health\n", ln.Addr())
+		fmt.Printf("serving metrics on http://%s/metrics, health on /health, config on /config, snapshots on /snapshot\n", ln.Addr())
 	}
 
 	var vf *os.File
@@ -217,6 +342,9 @@ func main() {
 	var pending []capturedPacket
 	next := func() (capturedPacket, bool) {
 		for {
+			if r == nil { // -restore without -in: nothing to replay
+				return capturedPacket{}, false
+			}
 			if len(pending) > 0 {
 				c := pending[0]
 				pending = pending[1:]
@@ -447,6 +575,19 @@ func main() {
 	// counters below are complete; the deferred Close becomes a no-op.
 	d.Close()
 	elapsed := time.Since(start)
+	if *snapshotOut != "" {
+		sf, err := os.Create(*snapshotOut)
+		if err != nil {
+			fatal(1, err)
+		}
+		if err := d.SaveState(sf); err != nil {
+			fatal(1, "snapshot:", err)
+		}
+		if err := sf.Close(); err != nil {
+			fatal(1, err)
+		}
+		fmt.Printf("state snapshot written to %s\n", *snapshotOut)
+	}
 	if fromRouted {
 		for q, c := range d.Metrics().RoutedPkts {
 			if q < len(queueCounts) {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"accturbo"
+)
+
+func TestConfigPatchWireFormat(t *testing.T) {
+	var cp configPatch
+	body := `{"ranking": "N.P./Size", "poll_interval_ms": 125, "deploy_delay_ms": 25.5}`
+	if err := json.Unmarshal([]byte(body), &cp); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cp.toRuntimePatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ranking == nil || *p.Ranking != accturbo.RankByPacketRateOverSize {
+		t.Fatalf("ranking not parsed: %+v", p)
+	}
+	if p.PollInterval == nil || p.PollInterval.Duration() != 125*time.Millisecond {
+		t.Fatalf("poll interval not converted: %+v", p)
+	}
+	if p.DeployDelay == nil || p.DeployDelay.Duration() != 25500*time.Microsecond {
+		t.Fatalf("fractional ms lost: %+v", p)
+	}
+	if p.ReseedInterval != nil || p.FailOpenAfter != nil || p.WatchdogInterval != nil {
+		t.Fatalf("absent fields should stay nil: %+v", p)
+	}
+
+	if _, err := (configPatch{Ranking: strPtr("bogus")}).toRuntimePatch(); err == nil {
+		t.Fatal("accepted an unknown ranking name")
+	}
+}
+
+func strPtr(s string) *string { return &s }
+
+func TestWriteConfigReflectsReconfigure(t *testing.T) {
+	d := accturbo.NewDefense(accturbo.HardwareConfig())
+	defer d.Close()
+
+	poll := accturbo.FromDuration(125 * time.Millisecond)
+	r := accturbo.RankByPacketRate
+	if _, err := d.Reconfigure(accturbo.RuntimePatch{PollInterval: &poll, Ranking: &r}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := httptest.NewRecorder()
+	writeConfig(rec, d)
+	var got map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["ranking"] != "N.P." {
+		t.Fatalf("ranking = %v", got["ranking"])
+	}
+	if got["poll_interval_ms"] != 125.0 {
+		t.Fatalf("poll_interval_ms = %v", got["poll_interval_ms"])
+	}
+	if got["generation"] != 2.0 {
+		t.Fatalf("generation = %v", got["generation"])
+	}
+}

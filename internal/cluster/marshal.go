@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Marshal serializes the clusterer's complete learned state — flattened
+// geometry, nominal value sets (exact or Bloom), per-cluster counters,
+// UID allocator and packet count — into a deterministic little-endian
+// byte stream. The stream opens with a configuration fingerprint so
+// Unmarshal can refuse a snapshot taken under different cluster
+// geometry. Two clusterers with equal observable state produce
+// identical bytes (the exhaustive-search merge-cost cache and the
+// nominal-set membership memos are derived state and excluded), which
+// is what makes save → restore → save byte-identical.
+//
+// Checksums and format versioning live one layer up, in the core
+// snapshot container: a cluster blob never travels alone.
+func (o *Online) Marshal() []byte {
+	var e enc
+	o.encodeFingerprint(&e)
+	e.u64(o.nextUID)
+	e.u64(o.Observed)
+	e.u32(uint32(len(o.clusters)))
+	for ci, c := range o.clusters {
+		e.u64(c.uid)
+		base := ci * o.nf
+		for f := 0; f < o.nf; f++ {
+			e.u32(o.min[base+f])
+			e.u32(o.max[base+f])
+		}
+		if o.center != nil {
+			for f := 0; f < o.nf; f++ {
+				e.f64(o.center[base+f])
+			}
+		}
+		e.u64(c.count)
+		e.u64(c.packets)
+		e.u64(c.bytes)
+		e.u64(c.totalPackets)
+		e.u64(c.benign)
+		e.u64(c.malicious)
+		for f := 0; f < o.nf; f++ {
+			if !o.nominal[f] {
+				continue
+			}
+			e.u32(uint32(c.setCard[f]))
+			if o.cfg.UseBloom {
+				b := c.blooms[f]
+				e.u64(b.Inserted)
+				words := b.Words()
+				e.u32(uint32(len(words)))
+				for _, w := range words {
+					e.u64(w)
+				}
+			} else {
+				s := &c.sets[f]
+				e.u32(uint32(s.card()))
+				s.each(func(v uint32) { e.u32(v) })
+			}
+		}
+	}
+	return e.b
+}
+
+// Unmarshal replaces the clusterer's state with a Marshal snapshot. The
+// receiver must have been constructed with the same configuration the
+// snapshot was taken under (checked via the embedded fingerprint);
+// restoring re-inserts nominal values in ascending order, which
+// reproduces the exact set representation including the small→bitmap
+// spill point, so subsequent observations are bit-identical to the
+// original clusterer's. The merge-cost cache is marked fully dirty and
+// recomputes lazily from the restored geometry.
+func (o *Online) Unmarshal(data []byte) error {
+	d := dec{b: data}
+	var fp enc
+	o.encodeFingerprint(&fp)
+	if len(d.b) < len(fp.b) || !bytes.Equal(d.b[:len(fp.b)], fp.b) {
+		return fmt.Errorf("cluster: snapshot fingerprint does not match this clusterer's configuration")
+	}
+	d.off = len(fp.b)
+
+	nextUID := d.u64()
+	observed := d.u64()
+	k := int(d.u32())
+	if d.err != nil {
+		return d.err
+	}
+	if k > o.cfg.MaxClusters {
+		return fmt.Errorf("cluster: snapshot has %d clusters, config allows %d", k, o.cfg.MaxClusters)
+	}
+
+	// Geometry decodes into scratch first: a truncated or corrupt
+	// stream must leave the receiver untouched.
+	min := make([]uint32, k*o.nf)
+	max := make([]uint32, k*o.nf)
+	var center []float64
+	if o.center != nil {
+		center = make([]float64, k*o.nf)
+	}
+	clusters := make([]*clusterState, 0, k)
+	for ci := 0; ci < k; ci++ {
+		c := o.blankState()
+		c.uid = d.u64()
+		base := ci * o.nf
+		for f := 0; f < o.nf; f++ {
+			min[base+f] = d.u32()
+			max[base+f] = d.u32()
+		}
+		if center != nil {
+			for f := 0; f < o.nf; f++ {
+				center[base+f] = d.f64()
+			}
+		}
+		c.count = d.u64()
+		c.packets = d.u64()
+		c.bytes = d.u64()
+		c.totalPackets = d.u64()
+		c.benign = d.u64()
+		c.malicious = d.u64()
+		for f := 0; f < o.nf; f++ {
+			if !o.nominal[f] {
+				continue
+			}
+			c.setCard[f] = int(d.u32())
+			if o.cfg.UseBloom {
+				inserted := d.u64()
+				words := make([]uint64, d.u32())
+				for i := range words {
+					words[i] = d.u64()
+				}
+				if d.err != nil {
+					return d.err
+				}
+				if err := c.blooms[f].SetWords(words, inserted); err != nil {
+					return err
+				}
+			} else {
+				n := int(d.u32())
+				for i := 0; i < n; i++ {
+					c.sets[f].insert(d.u32())
+				}
+			}
+		}
+		if d.err != nil {
+			return d.err
+		}
+		clusters = append(clusters, c)
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("cluster: %d trailing bytes after snapshot", len(d.b)-d.off)
+	}
+
+	// Commit only after the whole stream decoded cleanly.
+	o.grow(k)
+	copy(o.min, min)
+	copy(o.max, max)
+	if o.center != nil {
+		copy(o.center, center)
+	}
+	o.clusters = clusters
+	o.nextUID = nextUID
+	o.Observed = observed
+	if o.rowDirty != nil {
+		for i := range o.rowDirty {
+			o.rowDirty[i] = true
+		}
+	}
+	return nil
+}
+
+// encodeFingerprint appends the configuration facts the snapshot layout
+// depends on. Any mismatch means the byte stream cannot be interpreted
+// against the receiver (different feature count, value spaces, set
+// representation) or would silently change behavior (distance, search,
+// learning rate).
+func (o *Online) encodeFingerprint(e *enc) {
+	e.u32(uint32(o.cfg.MaxClusters))
+	e.u8(uint8(len(o.feats)))
+	for _, f := range o.feats {
+		e.u8(uint8(f))
+	}
+	e.u8(uint8(o.cfg.Distance))
+	e.u8(uint8(o.cfg.Search))
+	e.f64(o.cfg.LearningRate)
+	e.bool(o.cfg.UseBloom)
+	e.u64(o.cfg.BloomBits)
+	e.u32(uint32(o.cfg.BloomHashes))
+	e.bool(o.cfg.Normalize)
+	e.bool(o.cfg.SliceInit)
+}
+
+// enc is a minimal append-only little-endian encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8) { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) {
+	e.b = binary.LittleEndian.AppendUint32(e.b, v)
+}
+func (e *enc) u64(v uint64) {
+	e.b = binary.LittleEndian.AppendUint64(e.b, v)
+}
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// dec is the matching decoder; the first short read latches err and
+// every later read returns zero, so call sites check err at section
+// boundaries instead of per field.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("cluster: snapshot truncated at byte %d", d.off)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }

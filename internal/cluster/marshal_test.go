@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"accturbo/internal/packet"
+)
+
+// TestMarshalRoundTrip drives a clusterer through a trace that grows,
+// merges and spills clusters, snapshots it, restores into a fresh
+// instance, and requires (a) re-marshaling reproduces the exact bytes,
+// (b) the interpretable snapshots match, and (c) both instances stay
+// bit-identical on every subsequent observation — the restored process
+// must behave as if it had seen the whole original trace.
+func TestMarshalRoundTrip(t *testing.T) {
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"default", func(*Config) {}},
+		{"normalize", func(c *Config) { c.Normalize = true }},
+		{"sliceinit", func(c *Config) { c.SliceInit = true }},
+		{"bloom", func(c *Config) { c.UseBloom = true }},
+	}
+	warm := equivTrace(3000, 11)
+	tail := equivTrace(1000, 13)
+	for _, base := range benchCombos() {
+		for _, v := range variants {
+			cfg := base
+			v.mutate(&cfg)
+			if cfg.Validate() != nil {
+				continue // e.g. exhaustive + bloom
+			}
+			t.Run(comboName(cfg)+"/"+v.name, func(t *testing.T) {
+				orig := NewOnline(cfg)
+				for _, p := range warm {
+					orig.Observe(p)
+				}
+				blob := orig.Marshal()
+
+				restored := NewOnline(cfg)
+				if err := restored.Unmarshal(blob); err != nil {
+					t.Fatalf("Unmarshal: %v", err)
+				}
+				if got := restored.Marshal(); !bytes.Equal(got, blob) {
+					t.Fatalf("re-marshal differs: %d vs %d bytes", len(got), len(blob))
+				}
+				if !reflect.DeepEqual(restored.Snapshot(), orig.Snapshot()) {
+					t.Fatal("snapshots diverge after restore")
+				}
+				if restored.Observed != orig.Observed {
+					t.Fatalf("Observed = %d, want %d", restored.Observed, orig.Observed)
+				}
+
+				for i, p := range tail {
+					oa, ra := orig.Observe(p), restored.Observe(p)
+					if oa != ra {
+						t.Fatalf("post-restore packet %d: orig=%+v restored=%+v", i, oa, ra)
+					}
+				}
+				if !bytes.Equal(orig.Marshal(), restored.Marshal()) {
+					t.Fatal("states diverge after identical post-restore traffic")
+				}
+			})
+		}
+	}
+}
+
+// TestMarshalSpilledSets forces a nominal set past the small→bitmap
+// spill threshold and checks the spill survives the round trip: the
+// restored set must admit exactly the same values and re-marshal to the
+// same bytes.
+func TestMarshalSpilledSets(t *testing.T) {
+	cfg := DefaultConfig(2, packet.DefaultSimulationFeatures())
+	o := NewOnline(cfg)
+	for i := 0; i < 3*smallSetMax; i++ {
+		p := mkPkt(64, 500, packet.Benign)
+		p.SrcPort = uint16(1000 + i*7)
+		o.Observe(p)
+	}
+	blob := o.Marshal()
+	r := NewOnline(cfg)
+	if err := r.Unmarshal(blob); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !bytes.Equal(r.Marshal(), blob) {
+		t.Fatal("spilled-set re-marshal differs")
+	}
+	if !reflect.DeepEqual(r.Snapshot(), o.Snapshot()) {
+		t.Fatal("spilled-set snapshots diverge")
+	}
+}
+
+// TestUnmarshalRejects covers the refusal paths: configuration
+// fingerprint mismatch, truncation, and trailing garbage, none of which
+// may disturb the receiver's existing state.
+func TestUnmarshalRejects(t *testing.T) {
+	cfg := DefaultConfig(4, packet.DefaultSimulationFeatures())
+	o := NewOnline(cfg)
+	for _, p := range equivTrace(200, 17) {
+		o.Observe(p)
+	}
+	blob := o.Marshal()
+
+	fresh := func() *Online { return NewOnline(cfg) }
+
+	t.Run("fingerprint", func(t *testing.T) {
+		other := NewOnline(DefaultConfig(8, packet.DefaultSimulationFeatures()))
+		if err := other.Unmarshal(blob); err == nil {
+			t.Fatal("accepted a snapshot from a different configuration")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		r := fresh()
+		before := r.Marshal()
+		if err := r.Unmarshal(blob[:len(blob)-3]); err == nil {
+			t.Fatal("accepted a truncated snapshot")
+		}
+		if !bytes.Equal(r.Marshal(), before) {
+			t.Fatal("failed restore mutated the receiver")
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		r := fresh()
+		if err := r.Unmarshal(append(append([]byte{}, blob...), 0)); err == nil {
+			t.Fatal("accepted trailing bytes")
+		}
+	})
+}

@@ -20,6 +20,9 @@ import (
 // the identical loop runs in virtual time (SimClock) and wall time
 // (WallClock).
 type ControlPlane struct {
+	// cfg holds the structural half of the configuration — feature set,
+	// cluster/queue counts, shards — which is fixed at construction. The
+	// hot-reloadable half lives in rt and is re-read on every tick.
 	cfg Config
 	dp  *Dataplane
 	// clock drives the loop (poll, reseed, deploy callbacks). It is the
@@ -30,9 +33,21 @@ type ControlPlane struct {
 	clock    Clock
 	rawClock Clock
 
-	mu      sync.Mutex // serializes Step against itself (manual Poll vs ticker)
+	// rt is the live runtime configuration. Reconfigure publishes a
+	// validated replacement; its Store generation doubles as the ticker
+	// stamp — every scheduled loop carries the generation it was created
+	// under and no-ops once a newer one is published, so a cancelled
+	// ticker that still fires cannot double-drive the loop.
+	rt Hot[RuntimeConfig]
+
+	mu sync.Mutex // serializes Step against itself (manual Poll vs ticker)
+
+	// schedMu protects the ticker lifecycle: stops, started, running,
+	// and the swap-then-reschedule sequence in Reconfigure.
+	schedMu sync.Mutex
 	stops   []func()
 	started bool
+	running bool
 
 	deployments telemetry.Counter
 	lastDec     atomic.Pointer[Decision]
@@ -106,6 +121,8 @@ func NewControlPlaneE(dp *Dataplane, clock Clock, cfg Config) (*ControlPlane, er
 		rawClock:      clock,
 		deployLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()),
 	}
+	rt := cfg.Runtime()
+	cp.rt.Store(&rt)
 	cp.startAt.Store(-1)
 	cp.lastPollAt.Store(-1)
 	cp.lastDeployAt.Store(-1)
@@ -134,27 +151,89 @@ func (cp *ControlPlane) guard(fn func(now eventsim.Time)) func(now eventsim.Time
 // Start schedules the polling loop (and the reseed and watchdog loops
 // when configured) on the clock. It must be called at most once.
 func (cp *ControlPlane) Start() {
+	cp.schedMu.Lock()
+	defer cp.schedMu.Unlock()
 	if cp.started {
 		panic("core: ControlPlane started twice")
 	}
 	cp.started = true
+	cp.running = true
 	cp.startAt.Store(int64(cp.rawClock.Now()))
-	cp.stops = append(cp.stops, cp.clock.Every(cp.cfg.PollInterval, cp.guard(func(now eventsim.Time) { cp.Step(now) })))
-	if cp.cfg.ReseedInterval > 0 {
-		cp.stops = append(cp.stops, cp.clock.Every(cp.cfg.ReseedInterval, cp.guard(func(eventsim.Time) { cp.dp.Reseed() })))
+	cp.schedule(cp.rt.Generation())
+}
+
+// stamped wraps a periodic callback with the panic-recovery boundary
+// and a generation check: once Reconfigure publishes a newer runtime
+// config, a stale ticker that races its own cancellation becomes a
+// no-op instead of double-firing alongside its replacement. Deploy
+// callbacks are deliberately NOT stamped — a decision in flight when
+// the config changes still lands, matching Stop's "pending deployments
+// still apply" semantics.
+func (cp *ControlPlane) stamped(gen uint64, fn func(now eventsim.Time)) func(now eventsim.Time) {
+	return cp.guard(func(now eventsim.Time) {
+		if cp.rt.Generation() != gen {
+			return
+		}
+		fn(now)
+	})
+}
+
+// schedule creates the periodic loops for the current runtime config,
+// stamping each with gen. Caller holds schedMu.
+func (cp *ControlPlane) schedule(gen uint64) {
+	rt := *cp.rt.Load()
+	cp.stops = append(cp.stops, cp.clock.Every(rt.PollInterval, cp.stamped(gen, func(now eventsim.Time) { cp.Step(now) })))
+	if rt.ReseedInterval > 0 {
+		cp.stops = append(cp.stops, cp.clock.Every(rt.ReseedInterval, cp.stamped(gen, func(eventsim.Time) { cp.dp.Reseed() })))
 	}
-	if cp.cfg.FailOpenAfter > 0 {
-		cp.stops = append(cp.stops, cp.rawClock.Every(cp.cfg.WatchdogInterval, cp.guard(cp.watchdog)))
+	if rt.FailOpenAfter > 0 {
+		cp.stops = append(cp.stops, cp.rawClock.Every(rt.watchdogEvery(), cp.stamped(gen, cp.watchdog)))
 	}
 }
 
-// Stop cancels the scheduled loops. Pending deployments still apply.
-func (cp *ControlPlane) Stop() {
+// cancelLocked cancels the scheduled loops. Caller holds schedMu.
+func (cp *ControlPlane) cancelLocked() {
 	for _, s := range cp.stops {
 		s()
 	}
 	cp.stops = nil
 }
+
+// Stop cancels the scheduled loops. Pending deployments still apply.
+func (cp *ControlPlane) Stop() {
+	cp.schedMu.Lock()
+	defer cp.schedMu.Unlock()
+	cp.cancelLocked()
+	cp.running = false
+}
+
+// Reconfigure validates base-plus-patch, publishes it atomically (the
+// control loop re-reads the runtime config every tick, so the next poll
+// ranks under the new settings), and reschedules the tickers under a
+// fresh generation. The data plane is untouched: no packet is dropped
+// or reclassified by the swap, and a deployment already in flight still
+// applies. It returns the new configuration generation.
+func (cp *ControlPlane) Reconfigure(patch RuntimePatch) (uint64, error) {
+	cp.schedMu.Lock()
+	defer cp.schedMu.Unlock()
+	next := patch.Apply(*cp.rt.Load())
+	if err := next.Validate(); err != nil {
+		return cp.rt.Generation(), err
+	}
+	gen := cp.rt.Store(&next)
+	if cp.running {
+		cp.cancelLocked()
+		cp.schedule(gen)
+	}
+	return gen, nil
+}
+
+// Runtime returns the live runtime configuration.
+func (cp *ControlPlane) Runtime() RuntimeConfig { return *cp.rt.Load() }
+
+// ConfigGeneration returns the runtime-config generation: 1 at
+// construction, +1 per successful Reconfigure.
+func (cp *ControlPlane) ConfigGeneration() uint64 { return cp.rt.Generation() }
 
 // Deployments returns the number of mappings pushed to the data plane.
 func (cp *ControlPlane) Deployments() uint64 { return cp.deployments.Value() }
@@ -195,11 +274,11 @@ func (cp *ControlPlane) Describe(reg *telemetry.Registry, prefix string) {
 // snapshot are immutable once published.
 func (cp *ControlPlane) LastDecision() *Decision { return cp.lastDec.Load() }
 
-// rankMetric computes the configured maliciousness estimate for one
-// cluster snapshot (§5.1).
-func (cp *ControlPlane) rankMetric(info cluster.Info) float64 {
+// rankMetric computes the maliciousness estimate for one cluster
+// snapshot under the given ranking (§5.1).
+func rankMetric(r Ranking, info cluster.Info) float64 {
 	var m float64
-	switch cp.cfg.Ranking {
+	switch r {
 	case ByThroughput:
 		m = float64(info.Bytes)
 	case ByPacketRate:
@@ -220,6 +299,11 @@ func (cp *ControlPlane) rankMetric(info cluster.Info) float64 {
 func (cp *ControlPlane) Step(now eventsim.Time) *Decision {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
+
+	// One coherent runtime config for the whole tick: ranking and deploy
+	// delay come from the same snapshot even if Reconfigure lands
+	// mid-step.
+	rt := *cp.rt.Load()
 
 	// Watchdog bookkeeping: when the poll started and how long it held
 	// the loop (wall time — purely observational, never fed back into
@@ -244,7 +328,7 @@ func (cp *ControlPlane) Step(now eventsim.Time) *Decision {
 	ranks := make([]float64, nslots)
 	order := make([]int, 0, len(infos))
 	for _, info := range infos {
-		ranks[info.ID] = cp.rankMetric(info)
+		ranks[info.ID] = rankMetric(rt.Ranking, info)
 		order = append(order, info.ID)
 	}
 	// Least suspicious first; ties keep lower cluster IDs first for
@@ -268,12 +352,12 @@ func (cp *ControlPlane) Step(now eventsim.Time) *Decision {
 
 	dec := &Decision{
 		At:         now,
-		DeployedAt: now + cp.cfg.DeployDelay,
+		DeployedAt: now + rt.DeployDelay,
 		Clusters:   infos,
 		Rank:       ranks,
 		QueueOf:    newMap,
 	}
-	cp.clock.After(cp.cfg.DeployDelay, cp.guard(func(t eventsim.Time) {
+	cp.clock.After(rt.DeployDelay, cp.guard(func(t eventsim.Time) {
 		cp.dp.Deploy(newMap)
 		cp.deployments.Inc()
 		cp.deployLatency.ObserveSince(dec.At, t)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"accturbo/internal/cluster"
 	"accturbo/internal/packet"
@@ -38,7 +37,8 @@ type Dataplane struct {
 	// queueMap is the live cluster-slot→queue mapping installed by the
 	// control plane. Readers load it atomically; Deploy swaps it whole,
 	// so a packet sees either the old or the new mapping, never a mix.
-	queueMap atomic.Pointer[[]int]
+	// The Hot generation counts deployments since construction.
+	queueMap Hot[[]int]
 
 	// assigned counts packets per cluster slot, routed counts packets
 	// per priority queue. Both are stripe-padded so concurrent writers

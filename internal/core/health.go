@@ -101,8 +101,11 @@ func (cp *ControlPlane) staleRef() eventsim.Time {
 // deployment (see the deploy callback in Step), which restores the
 // ranked behavior and clears the flag.
 func (cp *ControlPlane) watchdog(now eventsim.Time) {
+	// Read the staleness bound live: a reconfigure that tightens or
+	// relaxes FailOpenAfter takes effect at the next check.
+	failOpenAfter := cp.rt.Load().FailOpenAfter
 	ref := cp.staleRef()
-	if ref < 0 || now-ref <= cp.cfg.FailOpenAfter {
+	if ref < 0 || now-ref <= failOpenAfter {
 		cp.consecStale.Store(0)
 		return
 	}

@@ -1,0 +1,41 @@
+package core
+
+import "sync/atomic"
+
+// Hot is a hot-swappable pointer with a generation counter: the one
+// pattern behind every piece of state the control plane replaces whole
+// while the data plane keeps reading it — the cluster→queue mapping
+// (PR 2) and now the runtime configuration. Readers pay exactly one
+// atomic pointer load; writers publish a fully-built replacement, so a
+// reader sees either the old value or the new one, never a mix.
+//
+// The generation counter increments on every Store. It is advisory:
+// callers use it to stamp scheduled work ("this ticker belongs to
+// generation 7") so callbacks outlived by a swap can detect they are
+// stale and become no-ops. Load and Generation are two independent
+// atomics — a reader racing a Store may briefly observe the new value
+// with the old generation (or vice versa); stamp-then-check protocols
+// must take their stamp from Store's return value, which is exact.
+//
+// The zero Hot holds nil at generation 0; Store before the first Load.
+type Hot[T any] struct {
+	p   atomic.Pointer[T]
+	gen atomic.Uint64
+}
+
+// Load returns the current value. The pointee must be treated as
+// immutable: mutating it would race every other reader.
+func (h *Hot[T]) Load() *T { return h.p.Load() }
+
+// Store publishes v (which must not be mutated afterwards) and returns
+// the new generation.
+func (h *Hot[T]) Store(v *T) uint64 {
+	if v == nil {
+		panic("core: Hot.Store(nil)")
+	}
+	h.p.Store(v)
+	return h.gen.Add(1)
+}
+
+// Generation returns the number of Stores completed so far.
+func (h *Hot[T]) Generation() uint64 { return h.gen.Load() }

@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"accturbo/internal/cluster"
 	"accturbo/internal/eventsim"
@@ -150,25 +151,16 @@ func (c *Config) Validate() error {
 	if c.NumQueues < 0 {
 		return fmt.Errorf("core: NumQueues %d < 0", c.NumQueues)
 	}
-	if c.PollInterval <= 0 {
-		return fmt.Errorf("core: PollInterval %v must be positive", c.PollInterval)
-	}
-	if c.DeployDelay < 0 {
-		return fmt.Errorf("core: DeployDelay %v must be non-negative", c.DeployDelay)
-	}
-	if c.Ranking > ByPacketRateOverSize {
-		return fmt.Errorf("core: unknown ranking %d", c.Ranking)
-	}
 	if c.Shards < 0 {
 		return fmt.Errorf("core: Shards %d < 0", c.Shards)
 	}
-	if c.FailOpenAfter < 0 {
-		return fmt.Errorf("core: FailOpenAfter %v < 0", c.FailOpenAfter)
-	}
-	if c.WatchdogInterval < 0 {
-		return fmt.Errorf("core: WatchdogInterval %v < 0", c.WatchdogInterval)
-	}
-	return nil
+	// The hot-reloadable fields share one validator with Reconfigure,
+	// so construction and live patches enforce identical bounds. A zero
+	// DeployDelay is rejected: the deploy callback must be a scheduled
+	// event, or a reconfigure could interleave with an in-flight
+	// deployment of the same tick.
+	rt := c.Runtime()
+	return rt.Validate()
 }
 
 func (c Config) withDefaults() Config {
@@ -178,9 +170,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueBytes == 0 {
 		c.QueueBytes = 64 << 10
 	}
-	if c.WatchdogInterval == 0 {
-		c.WatchdogInterval = c.PollInterval
-	}
+	// WatchdogInterval deliberately keeps its zero value: in
+	// RuntimeConfig zero means "track PollInterval", so a live
+	// poll-interval change moves the watchdog cadence with it.
 	return c
 }
 
@@ -315,3 +307,28 @@ func (t *Turbo) classify(now eventsim.Time, p *packet.Packet) int {
 // out-of-range ids report the lowest-priority queue, matching the
 // classifier's defensive routing.
 func (t *Turbo) QueueOf(id int) int { return t.dp.QueueFor(id) }
+
+// Reconfigure applies a runtime-config patch to the control plane (see
+// ControlPlane.Reconfigure): validated, atomically published,
+// tickers rescheduled — no packet is dropped or reclassified.
+func (t *Turbo) Reconfigure(patch RuntimePatch) (uint64, error) {
+	return t.cp.Reconfigure(patch)
+}
+
+// Runtime returns the live runtime configuration.
+func (t *Turbo) Runtime() RuntimeConfig { return t.cp.Runtime() }
+
+// SaveState serializes the full defense state (see SaveState).
+func (t *Turbo) SaveState(w io.Writer) error { return SaveState(w, t.dp, t.cp) }
+
+// RestoreState loads a snapshot into this freshly built instance (see
+// RestoreState) and syncs the instance-level counters to the restored
+// lifetime values.
+func (t *Turbo) RestoreState(r io.Reader) error {
+	if err := RestoreState(r, t.dp, t.cp); err != nil {
+		return err
+	}
+	t.Deployments = t.cp.Deployments()
+	t.LastDecision = t.cp.LastDecision()
+	return nil
+}

@@ -31,9 +31,15 @@ func TestConfigDefaultsAndValidation(t *testing.T) {
 	bad := []func(*Config){
 		func(c *Config) { c.Clustering.MaxClusters = 0 },
 		func(c *Config) { c.PollInterval = 0 },
+		func(c *Config) { c.PollInterval = -1 },
+		func(c *Config) { c.DeployDelay = 0 },
 		func(c *Config) { c.DeployDelay = -1 },
 		func(c *Config) { c.NumQueues = -1 },
+		func(c *Config) { c.Shards = -1 },
 		func(c *Config) { c.Ranking = Ranking(99) },
+		func(c *Config) { c.ReseedInterval = -1 },
+		func(c *Config) { c.FailOpenAfter = -1 },
+		func(c *Config) { c.WatchdogInterval = -1 },
 	}
 	for i, m := range bad {
 		cfg := DefaultConfig()

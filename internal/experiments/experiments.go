@@ -90,6 +90,7 @@ func All() []Experiment {
 		{ID: "schedulers", Title: "Extension: §5.1 scheduler realizations (PIFO / SP-PIFO / AIFO)", Run: Schedulers},
 		{ID: "chaos", Title: "Extension: pulse-wave under injected faults (fail-open chaos harness)", Run: Chaos},
 		{ID: "tcp", Title: "Extension: closed-loop AIMD background under a pulse wave", Run: TCPExperiment},
+		{ID: "liveops", Title: "Extension: hot reconfigure and snapshot/restore mid-pulse-wave", Run: LiveOps},
 	}
 }
 

@@ -19,6 +19,7 @@ package jaqen
 import (
 	"fmt"
 
+	"accturbo/internal/core"
 	"accturbo/internal/eventsim"
 	"accturbo/internal/netsim"
 	"accturbo/internal/packet"
@@ -114,10 +115,76 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// Runtime is the hot-reloadable half of Config: the mitigation knobs
+// an operator tunes while the defense runs. The structural half —
+// signature key, sketch geometry, window cadence — stays fixed because
+// changing it would invalidate the sketch contents and the scheduled
+// controller loop.
+type Runtime struct {
+	// Threshold is the per-window suspicion bound (see Config).
+	Threshold uint64
+	// ConsecutiveWindows gates mitigation (see Config).
+	ConsecutiveWindows int
+	// RateLimitBits selects policing over dropping when positive (see
+	// Config).
+	RateLimitBits float64
+}
+
+// Runtime extracts the hot-reloadable fields from a Config.
+func (c Config) Runtime() Runtime {
+	return Runtime{
+		Threshold:          c.Threshold,
+		ConsecutiveWindows: c.ConsecutiveWindows,
+		RateLimitBits:      c.RateLimitBits,
+	}
+}
+
+// Validate checks the runtime knobs, mirroring Config.Validate's
+// subset.
+func (r *Runtime) Validate() error {
+	if r.Threshold == 0 {
+		return fmt.Errorf("jaqen: zero threshold")
+	}
+	if r.ConsecutiveWindows < 1 {
+		return fmt.Errorf("jaqen: ConsecutiveWindows %d < 1", r.ConsecutiveWindows)
+	}
+	if r.RateLimitBits < 0 {
+		return fmt.Errorf("jaqen: RateLimitBits %v < 0", r.RateLimitBits)
+	}
+	return nil
+}
+
+// RuntimePatch is a partial Runtime: nil fields keep their current
+// value.
+type RuntimePatch struct {
+	Threshold          *uint64  `json:"threshold,omitempty"`
+	ConsecutiveWindows *int     `json:"consecutive_windows,omitempty"`
+	RateLimitBits      *float64 `json:"rate_limit_bits,omitempty"`
+}
+
+// Apply returns base with the patch's non-nil fields replaced.
+func (p RuntimePatch) Apply(base Runtime) Runtime {
+	if p.Threshold != nil {
+		base.Threshold = *p.Threshold
+	}
+	if p.ConsecutiveWindows != nil {
+		base.ConsecutiveWindows = *p.ConsecutiveWindows
+	}
+	if p.RateLimitBits != nil {
+		base.RateLimitBits = *p.RateLimitBits
+	}
+	return base
+}
+
 // Jaqen is one instance attached to a port.
 type Jaqen struct {
 	cfg Config
 	eng *eventsim.Engine
+
+	// rt holds the live mitigation knobs behind the same hot-swap
+	// helper the ACC-Turbo control plane uses: the per-packet path pays
+	// one atomic load, Reconfigure publishes a validated replacement.
+	rt core.Hot[Runtime]
 
 	cm *sketch.CountMin
 	// candidates are keys whose estimate crossed the threshold in the
@@ -171,6 +238,8 @@ func AttachE(eng *eventsim.Engine, port *netsim.Port, cfg Config) (*Jaqen, error
 		flagged:         map[uint64]bool{},
 		FirstMitigation: -1,
 	}
+	rt := cfg.Runtime()
+	j.rt.Store(&rt)
 	port.AddIngress(func(now eventsim.Time, p *packet.Packet) bool {
 		return j.admit(now, p)
 	})
@@ -225,7 +294,7 @@ func (j *Jaqen) admit(now eventsim.Time, p *packet.Packet) bool {
 		return true
 	}
 	est := j.cm.Add(k, 1)
-	if est > j.cfg.Threshold {
+	if est > j.rt.Load().Threshold {
 		j.flagged[k] = true
 	}
 	j.admitted.Inc()
@@ -235,9 +304,10 @@ func (j *Jaqen) admit(now eventsim.Time, p *packet.Packet) bool {
 // poll is the controller loop: promote keys flagged in enough
 // consecutive windows to drop rules.
 func (j *Jaqen) poll(now eventsim.Time) {
+	consecutive := j.rt.Load().ConsecutiveWindows
 	for k := range j.flagged {
 		j.candidates[k]++
-		if _, installed := j.rules[k]; j.candidates[k] >= j.cfg.ConsecutiveWindows && !installed {
+		if _, installed := j.rules[k]; j.candidates[k] >= consecutive && !installed {
 			j.mitigate(now, k)
 		}
 	}
@@ -259,8 +329,8 @@ type rule struct {
 // deployment latency.
 func (j *Jaqen) mitigate(now eventsim.Time, k uint64) {
 	rl := &rule{}
-	if j.cfg.RateLimitBits > 0 {
-		rl.bucket = queue.NewTokenBucket(j.cfg.RateLimitBits, 6000)
+	if rate := j.rt.Load().RateLimitBits; rate > 0 {
+		rl.bucket = queue.NewTokenBucket(rate, 6000)
 	}
 	j.rules[k] = rl // reserve so we don't double-deploy
 	activate := func(at eventsim.Time) {
@@ -282,6 +352,22 @@ func (j *Jaqen) mitigate(now eventsim.Time, k uint64) {
 	}
 	j.eng.After(j.cfg.ReprogramTime, func(t eventsim.Time) { activate(t) })
 }
+
+// Reconfigure applies a mitigation-knob patch: validated, then
+// published atomically. The next packet sees the new threshold, the
+// next window the new streak requirement; rules already installed keep
+// their mitigation (a policer's bucket is not resized retroactively).
+// It returns the new configuration generation.
+func (j *Jaqen) Reconfigure(patch RuntimePatch) (uint64, error) {
+	next := patch.Apply(*j.rt.Load())
+	if err := next.Validate(); err != nil {
+		return j.rt.Generation(), err
+	}
+	return j.rt.Store(&next), nil
+}
+
+// Runtime returns the live mitigation knobs.
+func (j *Jaqen) Runtime() Runtime { return *j.rt.Load() }
 
 // Rules returns the number of active drop rules.
 func (j *Jaqen) Rules() int { return len(j.rules) }

@@ -176,6 +176,25 @@ func (b *Bloom) Reset() {
 	b.Inserted = 0
 }
 
+// Words returns a copy of the filter's bit array, for serialization.
+func (b *Bloom) Words() []uint64 {
+	out := make([]uint64, len(b.bits))
+	copy(out, b.bits)
+	return out
+}
+
+// SetWords overwrites the filter's bit array from a serialized copy.
+// The word count must match the filter's geometry: a filter restored
+// into a differently-sized one would silently mis-hash every query.
+func (b *Bloom) SetWords(words []uint64, inserted uint64) error {
+	if len(words) != len(b.bits) {
+		return fmt.Errorf("sketch: bloom has %d words, snapshot has %d", len(b.bits), len(words))
+	}
+	copy(b.bits, words)
+	b.Inserted = inserted
+	return nil
+}
+
 // FillRatio returns the fraction of set bits, a saturation diagnostic.
 func (b *Bloom) FillRatio() float64 {
 	set := 0

@@ -10,6 +10,11 @@ Each benchmark line becomes one row:
 
 Lines without -benchmem columns record 0 bytes/allocs, matching the
 historical inline-CI conversion this script replaces.
+
+Repeated samples of the same benchmark (go test -count=N) are folded
+into one row by taking each field's minimum: the fastest sample is the
+least-disturbed measurement of the code path, and the trend gate should
+compare noise floors, not whichever run a scheduler hiccup landed on.
 """
 
 import json
@@ -23,20 +28,27 @@ LINE = re.compile(
 
 
 def parse(lines):
-    rows = []
+    rows = {}
+    order = []
     for line in lines:
         m = LINE.match(line)
-        if m:
-            rows.append(
-                {
-                    "name": m.group(1),
-                    "iterations": int(m.group(2)),
-                    "ns_per_op": float(m.group(3)),
-                    "bytes_per_op": int(m.group(4) or 0),
-                    "allocs_per_op": int(m.group(5) or 0),
-                }
-            )
-    return rows
+        if not m:
+            continue
+        row = {
+            "name": m.group(1),
+            "iterations": int(m.group(2)),
+            "ns_per_op": float(m.group(3)),
+            "bytes_per_op": int(m.group(4) or 0),
+            "allocs_per_op": int(m.group(5) or 0),
+        }
+        prev = rows.get(row["name"])
+        if prev is None:
+            rows[row["name"]] = row
+            order.append(row["name"])
+        else:
+            for k in ("ns_per_op", "bytes_per_op", "allocs_per_op"):
+                prev[k] = min(prev[k], row[k])
+    return [rows[n] for n in order]
 
 
 def main(argv):
