@@ -55,6 +55,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -155,6 +156,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the processing loop to this file")
 	restorePath := flag.String("restore", "", "restore defense state from this snapshot file before processing (see -snapshot-out)")
 	snapshotOut := flag.String("snapshot-out", "", "write a defense state snapshot to this file after the capture drains")
+	fleetNodes := flag.Int("fleet-nodes", 0, "run this many in-process fleet nodes under one global ranking coordinator (0 = single-node mode); capture traffic is partitioned across nodes by source IP hash")
+	coordinator := flag.Bool("coordinator", true, "with -fleet-nodes: keep the ranking coordinator reachable; false starts the fleet partitioned, so every node runs on its sticky local fallback ranking")
 	flag.Parse()
 	if *in == "" && *restorePath == "" {
 		fatal(2, "missing -in capture (or -restore snapshot)")
@@ -227,6 +230,14 @@ func main() {
 		// timeline in replay mode, wall time since startup in real-time
 		// mode. The watchdog stays on the unwrapped clock either way.
 		cfg.WrapClock = injector.ClockWrapper()
+	}
+
+	if *fleetNodes > 1 {
+		if *replay || *verdictsOut != "" || *batchSize > 1 || *restorePath != "" || *snapshotOut != "" || *shards > 1 {
+			fatal(2, "-fleet-nodes cannot be combined with -replay, -verdicts, -batch, -restore, -snapshot-out, or -shards")
+		}
+		runFleet(cfg, *fleetNodes, *coordinator, *metricsAddr, r, injector, *chaosSeed, spec)
+		return
 	}
 
 	var d *accturbo.Defense
@@ -632,5 +643,149 @@ func main() {
 	}
 	if vf != nil {
 		fmt.Printf("\nper-packet verdicts written to %s\n", *verdictsOut)
+	}
+}
+
+// runFleet is the -fleet-nodes path: N full pipelines over one
+// in-process coordinator, the capture partitioned across them by source
+// IP hash — each node sees only its ingress slice of the traffic, the
+// way a distributed-source attack spreads over real vantage points.
+// With -coordinator=false the fleet starts partitioned: every node
+// rides its sticky local fallback ranking, which is the degraded mode
+// an operator would see during a real coordinator outage.
+func runFleet(cfg accturbo.Config, nodes int, coordinatorUp bool, metricsAddr string,
+	r *pcap.Reader, injector *faults.Injector, chaosSeed uint64, spec faults.Spec) {
+	f, err := accturbo.NewFleetE(accturbo.FleetConfig{Nodes: nodes, Node: cfg})
+	if err != nil {
+		fatal(2, err)
+	}
+	defer f.Close()
+	if !coordinatorUp {
+		f.SetLink(false)
+	}
+
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			fatal(1, err)
+		}
+		mux := http.NewServeMux()
+		// Fleet /health: every node's snapshot plus the coordinator's
+		// counters in one document; 503 while any node is degraded.
+		mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+			type nodeHealth struct {
+				Node   int             `json:"node"`
+				Health accturbo.Health `json:"health"`
+			}
+			var out struct {
+				Nodes       []nodeHealth                   `json:"nodes"`
+				Coordinator accturbo.FleetCoordinatorStats `json:"coordinator"`
+			}
+			degraded := false
+			for n := 0; n < f.Nodes(); n++ {
+				h := f.Node(n).Health()
+				degraded = degraded || h.Degraded
+				out.Nodes = append(out.Nodes, nodeHealth{Node: n, Health: h})
+			}
+			out.Coordinator = f.CoordinatorStats()
+			w.Header().Set("Content-Type", "application/json")
+			if degraded {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			json.NewEncoder(w).Encode(out)
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("serving fleet health on http://%s/health\n", ln.Addr())
+	}
+
+	hashNode := func(p *packet.Packet) int {
+		h := fnv.New32a()
+		a := p.SrcIP.As4()
+		h.Write(a[:])
+		return int(h.Sum32()) % nodes
+	}
+
+	perNode := make([]int, nodes)
+	pollAll := func() {
+		for n := 0; n < f.Nodes(); n++ {
+			f.Node(n).Poll()
+		}
+	}
+	total := 0
+	var pending []capturedPacket
+	for r != nil {
+		var c capturedPacket
+		if len(pending) > 0 {
+			c, pending = pending[0], pending[1:]
+		} else {
+			at, p, err := r.Next()
+			if err != nil {
+				break
+			}
+			c = capturedPacket{at: at.Duration(), pkt: p}
+			if injector != nil {
+				drop, dup := injector.Mangle(p)
+				if drop {
+					continue
+				}
+				if dup {
+					d := new(packet.Packet)
+					*d = *p
+					pending = append(pending, capturedPacket{at: c.at, pkt: d})
+				}
+			}
+		}
+		n := hashNode(c.pkt)
+		f.Node(n).Process(c.at, c.pkt)
+		perNode[n]++
+		total++
+		// Drive the control loops at a data-driven cadence: a capture
+		// drains far faster than wall-clock poll intervals, so without
+		// this a short replay would finish before the first poll.
+		if total%5000 == 0 {
+			pollAll()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	// Let the last window rank and the coordinator's broadcast land.
+	for round := 0; round < 3; round++ {
+		pollAll()
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	fmt.Printf("fleet mode: %d nodes, %d packets partitioned by source IP\n", nodes, total)
+	if injector != nil {
+		fmt.Printf("chaos (seed %d, spec %q): %d dropped, %d duplicated, %d corrupted\n",
+			chaosSeed, spec.String(), injector.PacketsDropped.Value(),
+			injector.PacketsDuplicated.Value(), injector.PacketsCorrupted.Value())
+	}
+	for n := 0; n < f.Nodes(); n++ {
+		h := f.Node(n).Health()
+		st := f.NodeStats(n)
+		fmt.Printf("  node %d: %8d pkts, ranking source %-20s degraded=%-5v fleet/local polls %d/%d\n",
+			n, perNode[n], h.Control.RankSource, h.Degraded, st.FleetPolls, st.LocalPolls)
+	}
+	cs := f.CoordinatorStats()
+	fmt.Printf("coordinator: %d nodes reporting, epoch %d, %d merges, %d rejected frames\n",
+		cs.Nodes, cs.Epoch, cs.Merges, cs.Rejected)
+
+	fmt.Println("\nfleet-merged aggregates (global operator view):")
+	merged := f.MergedClusters()
+	var queueOf []int
+	if dec := f.LastGlobalDecision(); dec != nil {
+		queueOf = dec.QueueOf
+	}
+	for _, info := range merged {
+		q := "-"
+		if info.ID < len(queueOf) {
+			q = fmt.Sprint(queueOf[info.ID])
+		}
+		fmt.Printf("  slot %d -> queue %s: %8d pkts this window, size %.0f\n",
+			info.ID, q, info.Packets, info.Size)
+	}
+	if len(merged) == 0 {
+		fmt.Println("  (no merged view: no node reached the coordinator)")
 	}
 }

@@ -17,6 +17,20 @@ package cluster
 // Anime. Distance normalization is not reapplied; sharded control loops
 // rank raw sizes.
 //
+// Mismatched slot counts merge best-effort by design, not error: the
+// result has max-over-snapshots slots, and a snapshot that is shorter
+// than a slot index simply contributes nothing there (same as an
+// inactive slot). The alternative — rejecting the merge — would let one
+// mis-sized participant (a fleet node mid-rolling-reconfigure, a
+// truncated snapshot) veto the global ranking for everyone; slot-wise
+// union degrades gracefully instead, and the tail slots still rank
+// correctly from the participants that have them. Callers that require
+// strict alignment (the fleet coordinator does, since slot identity is
+// the slice tiling) must validate lengths before merging.
+//
+// An empty call (no snapshots, or all slots inactive) returns an empty
+// non-nil slice.
+//
 // The result is freshly allocated and shares no memory with the input
 // snapshots.
 func MergeSnapshots(d Distance, snaps ...[]Info) []Info {

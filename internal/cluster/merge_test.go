@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func activeInfo(id int, lo, hi uint32, pkts, bytes uint64) Info {
+	return Info{
+		ID: id, Active: true,
+		Ranges:             []Range{{Min: lo, Max: hi}},
+		NominalCardinality: []int{0},
+		Packets:            pkts, Bytes: bytes, TotalPackets: pkts,
+		Size: float64(hi - lo),
+	}
+}
+
+// TestMergeSnapshotsEmptyInputs: no snapshots at all, and snapshots
+// with no active slots, both merge to an empty (non-nil) result — the
+// fleet coordinator hits both before its first node reports traffic.
+func TestMergeSnapshotsEmptyInputs(t *testing.T) {
+	if got := MergeSnapshots(Manhattan); got == nil || len(got) != 0 {
+		t.Fatalf("no snapshots: got %v, want empty non-nil", got)
+	}
+	if got := MergeSnapshots(Manhattan, nil, nil); len(got) != 0 {
+		t.Fatalf("nil snapshots: got %v, want empty", got)
+	}
+	allIdle := [][]Info{
+		{{ID: 0}, {ID: 1}},
+		{{ID: 0}, {ID: 1}},
+	}
+	if got := MergeSnapshots(Manhattan, allIdle...); len(got) != 0 {
+		t.Fatalf("all-inactive slots: got %v, want empty", got)
+	}
+}
+
+// TestMergeSnapshotsSingleInput: merging one snapshot is a deep copy of
+// its active slots with Size recomputed from the (unchanged) geometry.
+func TestMergeSnapshotsSingleInput(t *testing.T) {
+	in := []Info{activeInfo(0, 10, 20, 5, 500), {ID: 1}, activeInfo(2, 0, 7, 1, 100)}
+	got := MergeSnapshots(Manhattan, in)
+	want := []Info{activeInfo(0, 10, 20, 5, 500), activeInfo(2, 0, 7, 1, 100)}
+	// MergeSnapshots keys by slot position, so the second active entry
+	// reports its position as ID.
+	want[1].ID = 2
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("single-input merge:\n got %+v\nwant %+v", got, want)
+	}
+	// Deep copy: mutating the result must not touch the input.
+	got[0].Ranges[0].Min = 99
+	if in[0].Ranges[0].Min != 10 {
+		t.Fatal("merge result shares Range memory with input")
+	}
+}
+
+// TestMergeSnapshotsMismatchedSlotCounts pins the documented decision:
+// best-effort, not error. Slots beyond a short snapshot's length merge
+// as if that snapshot's slot were inactive, and the result has the
+// maximum slot count.
+func TestMergeSnapshotsMismatchedSlotCounts(t *testing.T) {
+	long := []Info{activeInfo(0, 0, 3, 1, 10), activeInfo(1, 8, 15, 2, 20), activeInfo(2, 100, 200, 4, 40)}
+	short := []Info{activeInfo(0, 2, 5, 10, 100)}
+	got := MergeSnapshots(Manhattan, long, short)
+	if len(got) != 3 {
+		t.Fatalf("merged %d slots, want 3 (max over inputs)", len(got))
+	}
+	// Slot 0 merges both: enclosing range, summed counters.
+	if got[0].Ranges[0] != (Range{Min: 0, Max: 5}) {
+		t.Fatalf("slot 0 range %+v, want union {0 5}", got[0].Ranges[0])
+	}
+	if got[0].Packets != 11 || got[0].Bytes != 110 {
+		t.Fatalf("slot 0 counters %d/%d, want 11/110", got[0].Packets, got[0].Bytes)
+	}
+	// Slots 1 and 2 come from the long snapshot alone.
+	if got[1].Packets != 2 || got[2].Packets != 4 {
+		t.Fatalf("tail slots %d/%d, want 2/4", got[1].Packets, got[2].Packets)
+	}
+	// Argument order must not matter.
+	if !reflect.DeepEqual(got, MergeSnapshots(Manhattan, short, long)) {
+		t.Fatal("mismatched-length merge is order-sensitive")
+	}
+}
+
+// TestMergeSnapshotsUnionSemantics: ranges enclose, cardinalities take
+// the max (a lower bound on the union), counters sum, and Size is
+// recomputed from the merged geometry per distance.
+func TestMergeSnapshotsUnionSemantics(t *testing.T) {
+	a := []Info{{
+		ID: 0, Active: true,
+		Ranges:             []Range{{Min: 10, Max: 20}, {}},
+		NominalCardinality: []int{0, 3},
+		Packets:            7, Bytes: 700, TotalPackets: 70, Benign: 5, Malicious: 2,
+	}}
+	b := []Info{{
+		ID: 0, Active: true,
+		Ranges:             []Range{{Min: 15, Max: 40}, {}},
+		NominalCardinality: []int{0, 9},
+		Packets:            3, Bytes: 300, TotalPackets: 30, Benign: 1, Malicious: 2,
+	}}
+	got := MergeSnapshots(Manhattan, a, b)
+	if len(got) != 1 {
+		t.Fatalf("merged %d slots, want 1", len(got))
+	}
+	m := got[0]
+	if m.Ranges[0] != (Range{Min: 10, Max: 40}) {
+		t.Fatalf("range %+v, want enclosing {10 40}", m.Ranges[0])
+	}
+	if m.NominalCardinality[1] != 9 {
+		t.Fatalf("cardinality %d, want max 9", m.NominalCardinality[1])
+	}
+	if m.Packets != 10 || m.Bytes != 1000 || m.TotalPackets != 100 || m.Benign != 6 || m.Malicious != 4 {
+		t.Fatalf("counter sums wrong: %+v", m)
+	}
+	// Manhattan size: (width-1) over the ordinal feature + (card-1)
+	// over the nominal one = 30 + 8.
+	if m.Size != 38 {
+		t.Fatalf("Manhattan size %v, want 38", m.Size)
+	}
+	// Anime size: product of widths = 31 * 9.
+	if s := MergeSnapshots(Anime, a, b)[0].Size; s != 279 {
+		t.Fatalf("Anime size %v, want 279", s)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +40,12 @@ type ControlPlane struct {
 	rt Hot[RuntimeConfig]
 
 	mu sync.Mutex // serializes Step against itself (manual Poll vs ticker)
+
+	// ranker turns each polled snapshot into the Decision to deploy —
+	// the narrow seam between the loop's plumbing and the ranking
+	// policy. cfg.Ranker overrides it (fleet mode); the default
+	// localRanker reproduces the single-node loop bit for bit.
+	ranker Ranker
 
 	// schedMu protects the ticker lifecycle: stops, started, running,
 	// and the swap-then-reschedule sequence in Reconfigure.
@@ -119,7 +124,11 @@ func NewControlPlaneE(dp *Dataplane, clock Clock, cfg Config) (*ControlPlane, er
 		dp:            dp,
 		clock:         loopClock,
 		rawClock:      clock,
+		ranker:        cfg.Ranker,
 		deployLatency: telemetry.NewHistogram(telemetry.LatencyBuckets()),
+	}
+	if cp.ranker == nil {
+		cp.ranker = &localRanker{slots: cfg.Clustering.MaxClusters, numQueues: cfg.NumQueues}
 	}
 	rt := cfg.Runtime()
 	cp.rt.Store(&rt)
@@ -324,39 +333,11 @@ func (cp *ControlPlane) Step(now eventsim.Time) *Decision {
 		return nil
 	}
 
-	nslots := cp.cfg.Clustering.MaxClusters
-	ranks := make([]float64, nslots)
-	order := make([]int, 0, len(infos))
-	for _, info := range infos {
-		ranks[info.ID] = rankMetric(rt.Ranking, info)
-		order = append(order, info.ID)
+	dec := cp.ranker.Rank(now, infos, *cp.dp.queueMap.Load(), rt)
+	if dec == nil {
+		return nil
 	}
-	// Least suspicious first; ties keep lower cluster IDs first for
-	// determinism.
-	sort.SliceStable(order, func(i, j int) bool {
-		return ranks[order[i]] < ranks[order[j]]
-	})
-
-	newMap := make([]int, nslots)
-	copy(newMap, *cp.dp.queueMap.Load())
-	n := len(order)
-	for pos, id := range order {
-		// Spread rank positions across the available queues: position
-		// 0 (least suspicious) -> queue 0, last -> queue NumQueues-1.
-		q := pos * cp.cfg.NumQueues / n
-		if q >= cp.cfg.NumQueues {
-			q = cp.cfg.NumQueues - 1
-		}
-		newMap[id] = q
-	}
-
-	dec := &Decision{
-		At:         now,
-		DeployedAt: now + rt.DeployDelay,
-		Clusters:   infos,
-		Rank:       ranks,
-		QueueOf:    newMap,
-	}
+	newMap := dec.QueueOf
 	cp.clock.After(rt.DeployDelay, cp.guard(func(t eventsim.Time) {
 		cp.dp.Deploy(newMap)
 		cp.deployments.Inc()

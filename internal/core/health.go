@@ -44,6 +44,18 @@ type Health struct {
 	Deployments         uint64 `json:"deployments"`
 	WatchdogTrips       uint64 `json:"watchdog_trips"`
 	FailOpenEngagements uint64 `json:"failopen_engagements"`
+	// ConfigGeneration is the runtime-config version the loop is
+	// running: 1 at construction, +1 per successful Reconfigure — the
+	// operator's check that a pushed config actually took.
+	ConfigGeneration uint64 `json:"config_generation"`
+	// Ranking names the active ranking algorithm (§5.1 spelling:
+	// "Th.", "N.P.", ...); RankSource names the authority computing it
+	// — "local" for a standalone node, "fleet" when deploying the
+	// coordinator's merged ranking, "fleet-fallback:local" while
+	// partitioned from the coordinator (sticky until the next fleet
+	// deploy applies).
+	Ranking    string `json:"ranking"`
+	RankSource string `json:"rank_source"`
 }
 
 // Health returns the current liveness snapshot. It never blocks on the
@@ -65,6 +77,9 @@ func (cp *ControlPlane) Health() Health {
 		Deployments:         cp.deployments.Value(),
 		WatchdogTrips:       cp.watchdogTrips.Value(),
 		FailOpenEngagements: cp.failOpens.Value(),
+		ConfigGeneration:    cp.rt.Generation(),
+		Ranking:             cp.rt.Load().Ranking.String(),
+		RankSource:          cp.ranker.Source(),
 	}
 	if h.LastPollAt >= 0 {
 		h.PollAge = now - h.LastPollAt
@@ -76,6 +91,13 @@ func (cp *ControlPlane) Health() Health {
 		h.LastPanic = *p
 	}
 	h.Degraded = h.FailOpen || h.ConsecutiveStale > 0
+	// A fleet node running on local fallback is degraded from the
+	// operator's view — the node is defending, but not on the global
+	// ranking — so the /health 503 tells the coordinator's monitoring
+	// which nodes the partition actually cut off.
+	if dr, ok := cp.ranker.(degradedRanker); ok && dr.RankingDegraded() {
+		h.Degraded = true
+	}
 	return h
 }
 

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sort"
+
+	"accturbo/internal/cluster"
+	"accturbo/internal/eventsim"
+)
+
+// Ranker is the seam between the control loop's plumbing (poll the data
+// plane, schedule the deployment) and the policy that turns a cluster
+// snapshot into a cluster→queue mapping. The default localRanker ranks
+// the node's own snapshot; a fleet node (internal/fleet) instead
+// publishes the snapshot to a coordinator and deploys the globally
+// merged ranking, falling back to local ranking when the coordinator is
+// unreachable.
+//
+// Rank runs inside Step's critical section on the control loop's
+// callback context: one call per poll, never concurrently with itself.
+// infos is the freshly polled (and reset) per-window snapshot — the
+// Decision takes ownership of it. prev is the currently deployed queue
+// map; implementations must not mutate it. Returning nil skips the
+// tick (no deployment is scheduled).
+type Ranker interface {
+	Rank(now eventsim.Time, infos []cluster.Info, prev []int, rt RuntimeConfig) *Decision
+
+	// Source names the ranking authority for Health and /health:
+	// "local" for the built-in single-node ranker; fleet nodes report
+	// "fleet" or "fleet-fallback:local" while partitioned from the
+	// coordinator. It must be safe from any goroutine.
+	Source() string
+}
+
+// degradedRanker is the optional extension Health probes: a ranker that
+// can be in a degraded mode (a fleet node running on local fallback)
+// reports it here and the roll-up Degraded bit picks it up. Kept out of
+// Ranker so the seam stays two methods.
+type degradedRanker interface {
+	RankingDegraded() bool
+}
+
+// RankDecision is the pure rank→map computation shared by the local
+// ranker and the fleet coordinator (§5): rank every cluster in the
+// snapshot under rk, order least-suspicious first (ties keep lower
+// cluster IDs first for determinism), and spread the rank positions
+// across numQueues strict-priority queues — position 0 to queue 0
+// (highest priority), the most suspicious cluster to the last queue.
+// Slots absent from the snapshot keep their mapping from prev; prev is
+// copied, never mutated. slots is the queue-map length (MaxClusters).
+func RankDecision(rk Ranking, infos []cluster.Info, slots, numQueues int, prev []int, at, deployAt eventsim.Time) *Decision {
+	ranks := make([]float64, slots)
+	order := make([]int, 0, len(infos))
+	for _, info := range infos {
+		ranks[info.ID] = rankMetric(rk, info)
+		order = append(order, info.ID)
+	}
+	// Least suspicious first; ties keep lower cluster IDs first for
+	// determinism.
+	sort.SliceStable(order, func(i, j int) bool {
+		return ranks[order[i]] < ranks[order[j]]
+	})
+
+	newMap := make([]int, slots)
+	copy(newMap, prev)
+	n := len(order)
+	for pos, id := range order {
+		// Spread rank positions across the available queues: position
+		// 0 (least suspicious) -> queue 0, last -> queue NumQueues-1.
+		q := pos * numQueues / n
+		if q >= numQueues {
+			q = numQueues - 1
+		}
+		newMap[id] = q
+	}
+
+	return &Decision{
+		At:         at,
+		DeployedAt: deployAt,
+		Clusters:   infos,
+		Rank:       ranks,
+		QueueOf:    newMap,
+	}
+}
+
+// localRanker is the single-node policy ACC-Turbo ships with: rank this
+// node's own snapshot, nothing else. It is stateless; Step's output is
+// bit-identical to the pre-seam control loop.
+type localRanker struct {
+	slots     int
+	numQueues int
+}
+
+func (l *localRanker) Rank(now eventsim.Time, infos []cluster.Info, prev []int, rt RuntimeConfig) *Decision {
+	return RankDecision(rt.Ranking, infos, l.slots, l.numQueues, prev, now, now+rt.DeployDelay)
+}
+
+func (l *localRanker) Source() string { return "local" }

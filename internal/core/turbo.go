@@ -116,6 +116,14 @@ type Config struct {
 	// supervision layer that must keep observing while the loop it
 	// guards is being stalled.
 	WrapClock func(Clock) Clock
+	// Ranker, when set, replaces the ranking policy behind the control
+	// loop: every poll hands the freshly polled snapshot to
+	// Ranker.Rank instead of the built-in local ranking. This is the
+	// fleet-mode hook (internal/fleet.Node publishes the snapshot to a
+	// coordinator and deploys the merged global ranking). Nil selects
+	// the local ranker, whose decisions are bit-identical to the
+	// pre-seam control loop. Structural: fixed at construction.
+	Ranker Ranker
 }
 
 // DefaultConfig mirrors the paper's simulation setup: 10 clusters over

@@ -91,6 +91,7 @@ func All() []Experiment {
 		{ID: "chaos", Title: "Extension: pulse-wave under injected faults (fail-open chaos harness)", Run: Chaos},
 		{ID: "tcp", Title: "Extension: closed-loop AIMD background under a pulse wave", Run: TCPExperiment},
 		{ID: "liveops", Title: "Extension: hot reconfigure and snapshot/restore mid-pulse-wave", Run: LiveOps},
+		{ID: "fleet", Title: "Extension: distributed-source pulse wave — single-node vs fleet ranking", Run: Fleet},
 	}
 }
 

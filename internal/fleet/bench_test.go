@@ -1,0 +1,62 @@
+package fleet
+
+import (
+	"testing"
+
+	"accturbo/internal/cluster"
+	"accturbo/internal/eventsim"
+)
+
+// benchSnapshot builds a realistic publish payload: a full
+// HardwareConfig-shaped snapshot (4 slots x 4 features) with live
+// counters — what every node serializes once per poll interval.
+func benchSnapshot() *Snapshot {
+	infos := make([]cluster.Info, 4)
+	for i := range infos {
+		lo := uint32(64 * i)
+		infos[i] = cluster.Info{
+			ID: i, Active: true,
+			Ranges: []cluster.Range{
+				{Min: lo, Max: lo + 63},
+				{Min: 0, Max: 255},
+				{Min: 1024, Max: 65535},
+				{Min: 53, Max: 443},
+			},
+			NominalCardinality: []int{0, 0, 0, 0},
+			Packets:            12345 + uint64(i),
+			Bytes:              15_000_000 + uint64(i)*1000,
+			TotalPackets:       98765,
+			Benign:             11111,
+			Malicious:          222,
+			Size:               float64(64*4 - 4),
+		}
+	}
+	return &Snapshot{Node: 3, Seq: 991, At: eventsim.Time(17_250_000_000), Infos: infos}
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	s := benchSnapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := EncodeSnapshot(s)
+		if len(frame) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	frame := EncodeSnapshot(benchSnapshot())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := DecodeSnapshot(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Infos) != 4 {
+			b.Fatal("short decode")
+		}
+	}
+}

@@ -1,0 +1,500 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"accturbo/internal/cluster"
+	"accturbo/internal/core"
+	"accturbo/internal/eventsim"
+)
+
+func testInfos() []cluster.Info {
+	return []cluster.Info{
+		{
+			ID: 0, Active: true,
+			Ranges:             []cluster.Range{{Min: 0, Max: 63}, {Min: 5, Max: 9}},
+			NominalCardinality: []int{0, 0},
+			Packets:            12, Bytes: 1200, TotalPackets: 40, Benign: 10, Malicious: 2,
+			Size: 67,
+		},
+		{
+			ID: 1, Active: true,
+			Ranges:             []cluster.Range{{Min: 64, Max: 127}, {Min: 0, Max: 65535}},
+			NominalCardinality: []int{0, 3},
+			Packets:            99, Bytes: 99000, TotalPackets: 990,
+			Size: 65601,
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	in := &Snapshot{Node: 7, Seq: 42, At: 1_500_000_000, Infos: testInfos()}
+	got, err := DecodeSnapshot(EncodeSnapshot(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, in)
+	}
+	// Empty snapshots (idle node) must survive too.
+	empty := &Snapshot{Node: 1, Seq: 1, At: 5}
+	got, err = DecodeSnapshot(EncodeSnapshot(empty))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if got.Node != 1 || got.Seq != 1 || len(got.Infos) != 0 {
+		t.Fatalf("empty round trip: %+v", got)
+	}
+}
+
+func TestDeployRoundTrip(t *testing.T) {
+	in := &Deploy{
+		Epoch:   9,
+		At:      2_250_000_000,
+		QueueOf: []int{0, 3, 1, 7},
+		Rank:    []float64{0, 1.5, -2.25, 99000},
+	}
+	got, err := DecodeDeploy(EncodeDeploy(in))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+// TestWireRejectsCorruption flips every byte of both message kinds and
+// truncates at every length: the CRC (or a structural check) must catch
+// all of it — silent acceptance of a corrupt frame is the one failure a
+// distributed defense cannot have.
+func TestWireRejectsCorruption(t *testing.T) {
+	frames := map[string][]byte{
+		"snapshot": EncodeSnapshot(&Snapshot{Node: 3, Seq: 8, At: 77, Infos: testInfos()}),
+		"deploy":   EncodeDeploy(&Deploy{Epoch: 2, At: 5, QueueOf: []int{1, 0}, Rank: []float64{3, 4}}),
+	}
+	decode := func(name string, data []byte) error {
+		if name == "snapshot" {
+			_, err := DecodeSnapshot(data)
+			return err
+		}
+		_, err := DecodeDeploy(data)
+		return err
+	}
+	for name, frame := range frames {
+		if err := decode(name, frame); err != nil {
+			t.Fatalf("%s: pristine frame rejected: %v", name, err)
+		}
+		for i := range frame {
+			bad := append([]byte(nil), frame...)
+			bad[i] ^= 0x40
+			if decode(name, bad) == nil {
+				t.Fatalf("%s: byte %d flipped, frame still accepted", name, i)
+			}
+		}
+		for n := 0; n < len(frame); n++ {
+			if decode(name, frame[:n]) == nil {
+				t.Fatalf("%s: truncation to %d bytes accepted", name, n)
+			}
+		}
+		if decode(name, append(append([]byte(nil), frame...), 0)) == nil {
+			t.Fatalf("%s: trailing byte accepted", name)
+		}
+	}
+	// Cross-type confusion: a valid snapshot frame is not a deploy.
+	if _, err := DecodeDeploy(frames["snapshot"]); err == nil {
+		t.Fatal("snapshot frame accepted as deploy")
+	}
+	if _, err := DecodeSnapshot(frames["deploy"]); err == nil {
+		t.Fatal("deploy frame accepted as snapshot")
+	}
+}
+
+// TestStreamFraming: frames written back to back on one byte stream
+// read back intact — the socket-backend contract.
+func TestStreamFraming(t *testing.T) {
+	var buf bytes.Buffer
+	s := EncodeSnapshot(&Snapshot{Node: 1, Seq: 2, At: 3, Infos: testInfos()})
+	d := EncodeDeploy(&Deploy{Epoch: 1, At: 4, QueueOf: []int{0}, Rank: []float64{1}})
+	if err := WriteFrame(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+
+	got1, err := ReadFrame(&buf)
+	if err != nil || !bytes.Equal(got1, s) {
+		t.Fatalf("first frame: err=%v equal=%v", err, bytes.Equal(got1, s))
+	}
+	got2, err := ReadFrame(&buf)
+	if err != nil || !bytes.Equal(got2, d) {
+		t.Fatalf("second frame: err=%v equal=%v", err, bytes.Equal(got2, d))
+	}
+	// Clean EOF at a frame boundary.
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("at boundary: err=%v, want io.EOF", err)
+	}
+	// A partial frame is an unexpected EOF, not a clean one.
+	if _, err := ReadFrame(bytes.NewReader(s[:len(s)-3])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("partial frame: err=%v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func simRT() core.RuntimeConfig {
+	return core.RuntimeConfig{
+		Ranking:      core.ByThroughput,
+		PollInterval: 250 * 1000 * 1000,
+		DeployDelay:  1000 * 1000,
+	}
+}
+
+// slotInfos builds a 2-slot snapshot with the given per-slot bytes
+// (packets = bytes/100); the slot tiling matches across nodes the way
+// SliceInit guarantees in a real fleet.
+func slotInfos(bytes0, bytes1 uint64) []cluster.Info {
+	mk := func(id int, lo, hi uint32, b uint64) cluster.Info {
+		return cluster.Info{
+			ID: id, Active: true,
+			Ranges:             []cluster.Range{{Min: lo, Max: hi}},
+			NominalCardinality: []int{0},
+			Packets:            b / 100, Bytes: b, TotalPackets: b / 100,
+			Size: float64(hi - lo),
+		}
+	}
+	return []cluster.Info{mk(0, 0, 127, bytes0), mk(1, 128, 255, bytes1)}
+}
+
+// TestCoordinatorGlobalRanking is the tentpole property in miniature: a
+// distributed aggregate that every node's local view misranks is
+// correctly demoted by the merged ranking. Each node sees benign 1000 >
+// attack 600 locally; fleet-wide the attack is 1200 > 1100.
+func TestCoordinatorGlobalRanking(t *testing.T) {
+	eng := eventsim.New()
+	tr := NewSimTransport(eng, 1000)
+	coord, err := NewCoordinator(tr, CoordinatorConfig{
+		Slots: 2, NumQueues: 2, Ranking: core.ByThroughput, Distance: cluster.Manhattan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deploys := make(map[uint32][]*Deploy)
+	for _, id := range []uint32{1, 2} {
+		id := id
+		tr.HandleNode(id, func(frame []byte) {
+			dp, err := DecodeDeploy(frame)
+			if err != nil {
+				t.Errorf("node %d: bad deploy: %v", id, err)
+				return
+			}
+			deploys[id] = append(deploys[id], dp)
+		})
+	}
+
+	eng.At(10, func(now eventsim.Time) {
+		tr.ToCoordinator(1, EncodeSnapshot(&Snapshot{Node: 1, Seq: 1, At: now, Infos: slotInfos(1000, 600)}))
+	})
+	eng.At(20, func(now eventsim.Time) {
+		tr.ToCoordinator(2, EncodeSnapshot(&Snapshot{Node: 2, Seq: 1, At: now, Infos: slotInfos(100, 600)}))
+	})
+	eng.Run()
+
+	// The coordinator broadcasts to nodes that have reported: node 1
+	// sees epoch 1 (alone) then epoch 2 (merged); node 2 joins at epoch
+	// 2.
+	if got := deploys[1]; len(got) != 2 || got[0].Epoch != 1 || got[1].Epoch != 2 {
+		t.Fatalf("node 1 deploys: %+v, want epochs [1 2]", got)
+	}
+	if got := deploys[2]; len(got) != 1 || got[0].Epoch != 2 {
+		t.Fatalf("node 2 deploys: %+v, want epoch [2]", got)
+	}
+	final := deploys[1][1]
+	// Merged bytes: slot 0 = 1100, slot 1 = 1200 — the distributed
+	// attack outranks the biggest single benign aggregate, so it lands
+	// in the last (lowest-priority) queue.
+	if final.Rank[0] != 1100 || final.Rank[1] != 1200 {
+		t.Fatalf("merged ranks %v, want [1100 1200]", final.Rank)
+	}
+	if !reflect.DeepEqual(final.QueueOf, []int{0, 1}) {
+		t.Fatalf("global map %v, want attack slot demoted to queue 1", final.QueueOf)
+	}
+	// Yet each node's LOCAL view would have demoted the benign slot:
+	local := core.RankDecision(core.ByThroughput, slotInfos(1000, 600), 2, 2, []int{0, 0}, 0, 0)
+	if !reflect.DeepEqual(local.QueueOf, []int{1, 0}) {
+		t.Fatalf("local misranking premise broken: %v", local.QueueOf)
+	}
+
+	st := coord.Stats()
+	if st.Nodes != 2 || st.Epoch != 2 || st.Merges != 2 || st.Rejected != 0 {
+		t.Fatalf("coordinator stats %+v", st)
+	}
+	mv := coord.MergedView()
+	if len(mv) != 2 || mv[0].Bytes != 1100 || mv[1].Bytes != 1200 {
+		t.Fatalf("merged view %+v", mv)
+	}
+}
+
+// TestCoordinatorRejects: corrupt frames, spoofed node IDs, oversized
+// snapshots and replayed sequence numbers are counted and dropped
+// without disturbing the global state.
+func TestCoordinatorRejects(t *testing.T) {
+	eng := eventsim.New()
+	tr := NewSimTransport(eng, 0)
+	coord, err := NewCoordinator(tr, CoordinatorConfig{
+		Slots: 2, NumQueues: 2, Ranking: core.ByThroughput, Distance: cluster.Manhattan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := EncodeSnapshot(&Snapshot{Node: 1, Seq: 5, At: 1, Infos: slotInfos(10, 20)})
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1] ^= 0xff
+
+	eng.At(1, func(now eventsim.Time) {
+		tr.ToCoordinator(1, good)                     // accepted
+		tr.ToCoordinator(1, corrupt)                  // CRC failure
+		tr.ToCoordinator(9, good)                     // claims node 1, sent by node 9
+		tr.ToCoordinator(1, good)                     // replay: seq 5 again
+		tr.ToCoordinator(1, EncodeSnapshot(&Snapshot{ // 3 infos > 2 slots
+			Node: 1, Seq: 6, At: now,
+			Infos: append(slotInfos(1, 2), cluster.Info{ID: 2, Active: true, Ranges: []cluster.Range{{}}, NominalCardinality: []int{0}}),
+		}))
+	})
+	eng.Run()
+
+	st := coord.Stats()
+	if st.Merges != 1 || st.Rejected != 4 {
+		t.Fatalf("stats %+v, want 1 merge and 4 rejections", st)
+	}
+}
+
+// TestNodeFallbackAndRecovery drives a fleet node through the full
+// partition arc: fleet ranking while connected, sticky local fallback
+// while partitioned (never FIFO — the decision still demotes by the
+// local view), and recovery to fleet on heal.
+func TestNodeFallbackAndRecovery(t *testing.T) {
+	eng := eventsim.New()
+	tr := NewSimTransport(eng, 1000)
+	if _, err := NewCoordinator(tr, CoordinatorConfig{
+		Slots: 2, NumQueues: 2, Ranking: core.ByThroughput, Distance: cluster.Manhattan,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt := simRT()
+	node, err := NewNode(1, tr, eng.Now, NodeConfig{Slots: 2, NumQueues: 2, StaleAfter: 3 * rt.PollInterval})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if node.Source() != "fleet-fallback:local" || !node.RankingDegraded() {
+		t.Fatalf("before first deploy: source=%q degraded=%v", node.Source(), node.RankingDegraded())
+	}
+
+	type obs struct {
+		source   string
+		degraded bool
+		queueOf  []int
+	}
+	var seen []obs
+	poll := func(infos []cluster.Info) func(eventsim.Time) {
+		return func(now eventsim.Time) {
+			dec := node.Rank(now, infos, []int{0, 0}, rt)
+			if dec == nil {
+				t.Errorf("t=%d: nil decision", now)
+				return
+			}
+			seen = append(seen, obs{node.Source(), node.RankingDegraded(), dec.QueueOf})
+		}
+	}
+	step := rt.PollInterval
+
+	// Poll 0: nothing heard yet -> local fallback. Its snapshot reaches
+	// the coordinator, whose deploy arrives 2ms later.
+	eng.At(0*step, poll(slotInfos(1000, 600)))
+	// Poll 1: fleet deploy fresh -> fleet ranking.
+	eng.At(1*step, poll(slotInfos(1000, 600)))
+	// Partition just after poll 1's publish is delivered.
+	eng.At(1*step+5000, func(eventsim.Time) { tr.SetUp(false) })
+	// Polls 2-4: last deploy ages past StaleAfter by poll 5.
+	eng.At(2*step, poll(slotInfos(1000, 600)))
+	eng.At(3*step, poll(slotInfos(1000, 600)))
+	eng.At(4*step, poll(slotInfos(1000, 600)))
+	eng.At(5*step, poll(slotInfos(1000, 600)))
+	// Heal; poll 6 publishes, poll 7 sees the fresh deploy.
+	eng.At(6*step-5000, func(eventsim.Time) { tr.SetUp(true) })
+	eng.At(6*step, poll(slotInfos(1000, 600)))
+	eng.At(7*step, poll(slotInfos(1000, 600)))
+	eng.Run()
+
+	wantSources := []string{
+		"fleet-fallback:local", // 0: nothing heard yet
+		"fleet",                // 1
+		"fleet",                // 2: deploy 1 poll old, within bound
+		"fleet",                // 3
+		"fleet",                // 4: exactly at the 3-poll bound
+		"fleet-fallback:local", // 5: stale -> fallback
+		"fleet-fallback:local", // 6: still stale (deploy lands after this poll)
+		"fleet",                // 7: recovered
+	}
+	if len(seen) != len(wantSources) {
+		t.Fatalf("saw %d polls, want %d", len(seen), len(wantSources))
+	}
+	for i, want := range wantSources {
+		if seen[i].source != want {
+			t.Fatalf("poll %d: source %q, want %q (all: %+v)", i, seen[i].source, want, seen)
+		}
+		if wantDeg := want != "fleet"; seen[i].degraded != wantDeg {
+			t.Fatalf("poll %d: degraded=%v, want %v", i, seen[i].degraded, wantDeg)
+		}
+		// Never FIFO: even degraded polls demote a slot. With one node
+		// the fleet and local rankings agree: benign slot 0 (1000) is
+		// the bigger aggregate, so it is the one demoted.
+		if !reflect.DeepEqual(seen[i].queueOf, []int{1, 0}) {
+			t.Fatalf("poll %d: queue map %v, want [1 0]", i, seen[i].queueOf)
+		}
+	}
+
+	st := node.Stats()
+	if st.FallbackEngagements != 1 {
+		t.Fatalf("fallback engagements %d, want 1 (initial state does not count)", st.FallbackEngagements)
+	}
+	if st.FleetPolls != 5 || st.LocalPolls != 3 {
+		t.Fatalf("fleet/local polls %d/%d, want 5/3", st.FleetPolls, st.LocalPolls)
+	}
+	if st.PublishErrors != 0 {
+		t.Fatalf("publish errors %d (SimTransport drops silently)", st.PublishErrors)
+	}
+	if st.BadDeploys != 0 || st.Epoch == 0 {
+		t.Fatalf("bad deploys %d, epoch %d", st.BadDeploys, st.Epoch)
+	}
+}
+
+// TestNodeRejectsBadDeploys: mis-sized or out-of-range queue maps from
+// a misconfigured coordinator never apply.
+func TestNodeRejectsBadDeploys(t *testing.T) {
+	eng := eventsim.New()
+	tr := NewSimTransport(eng, 0)
+	node, err := NewNode(1, tr, eng.Now, NodeConfig{Slots: 2, NumQueues: 2, StaleAfter: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.At(1, func(now eventsim.Time) {
+		tr.ToNode(1, EncodeDeploy(&Deploy{Epoch: 1, At: now, QueueOf: []int{0, 1, 0}, Rank: []float64{0, 0, 0}})) // 3 slots
+		tr.ToNode(1, EncodeDeploy(&Deploy{Epoch: 2, At: now, QueueOf: []int{0, 9}, Rank: []float64{0, 0}}))       // queue 9 of 2
+		bad := EncodeDeploy(&Deploy{Epoch: 3, At: now, QueueOf: []int{0, 1}, Rank: []float64{0, 0}})
+		bad[len(bad)-2] ^= 1 // CRC breakage
+		tr.ToNode(1, bad)
+	})
+	eng.Run()
+	st := node.Stats()
+	if st.BadDeploys != 3 || st.Epoch != 0 {
+		t.Fatalf("stats %+v, want 3 bad deploys and no applied epoch", st)
+	}
+	if !node.RankingDegraded() {
+		t.Fatal("node applied a rejected deploy")
+	}
+}
+
+// TestChanTransportDelivers exercises the real-time backend end to end:
+// snapshots flow to the coordinator, deploys flow back, counters move.
+func TestChanTransportDelivers(t *testing.T) {
+	tr := NewChanTransport(16)
+	defer tr.Close()
+	coord, err := NewCoordinator(tr, CoordinatorConfig{
+		Slots: 2, NumQueues: 2, Ranking: core.ByThroughput, Distance: cluster.Manhattan,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *Deploy, 1)
+	tr.HandleNode(1, func(frame []byte) {
+		if dp, err := DecodeDeploy(frame); err == nil {
+			select {
+			case got <- dp:
+			default:
+			}
+		}
+	})
+	if err := tr.ToCoordinator(1, EncodeSnapshot(&Snapshot{Node: 1, Seq: 1, At: 1, Infos: slotInfos(10, 20)})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case dp := <-got:
+		if dp.Epoch != 1 || !reflect.DeepEqual(dp.QueueOf, []int{0, 1}) {
+			t.Fatalf("deploy %+v", dp)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no deploy delivered within 5s")
+	}
+	if st := coord.Stats(); st.Merges != 1 {
+		t.Fatalf("coordinator stats %+v", st)
+	}
+}
+
+// TestChanTransportCloseWhilePublish is the close-while-fleet-publish
+// race under -race: publishers hammering the transport while it closes
+// must see either success or ErrClosed — never a panic, never a send on
+// a closed channel.
+func TestChanTransportCloseWhilePublish(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		tr := NewChanTransport(4)
+		tr.HandleCoordinator(func(uint32, []byte) {})
+		frame := EncodeSnapshot(&Snapshot{Node: 1, Seq: 1, At: 1, Infos: slotInfos(1, 2)})
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					if err := tr.ToCoordinator(1, frame); err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("unexpected send error: %v", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			tr.Close()
+		}()
+		close(start)
+		wg.Wait()
+		tr.Close() // idempotent
+		if err := tr.ToCoordinator(1, frame); !errors.Is(err, ErrClosed) {
+			t.Fatalf("send after close: %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestSimTransportPartitionCounters: partition drops are counted at
+// send time, deliveries at handler time.
+func TestSimTransportPartitionCounters(t *testing.T) {
+	eng := eventsim.New()
+	tr := NewSimTransport(eng, 10)
+	var coordGot int
+	tr.HandleCoordinator(func(uint32, []byte) { coordGot++ })
+	frame := EncodeSnapshot(&Snapshot{Node: 1, Seq: 1, At: 0, Infos: nil})
+
+	eng.At(0, func(eventsim.Time) { tr.ToCoordinator(1, frame) })
+	eng.At(1, func(eventsim.Time) { tr.SetUp(false) })
+	eng.At(2, func(eventsim.Time) { tr.ToCoordinator(1, frame) })
+	eng.At(3, func(eventsim.Time) { tr.SetUp(true) })
+	eng.At(4, func(eventsim.Time) { tr.ToCoordinator(1, frame) })
+	eng.Run()
+
+	if coordGot != 2 || tr.Delivered != 2 || tr.Dropped != 1 {
+		t.Fatalf("got=%d delivered=%d dropped=%d, want 2/2/1", coordGot, tr.Delivered, tr.Dropped)
+	}
+}

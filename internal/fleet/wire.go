@@ -1,0 +1,343 @@
+// Package fleet runs ACC-Turbo at many vantage points with one global
+// ranking (ROADMAP item 1). Each node's control loop — unchanged except
+// for the core.Ranker seam — publishes its per-window cluster snapshot
+// to a coordinator; the coordinator merges the snapshots slot-wise
+// (cluster.MergeSnapshots) and broadcasts one cluster→queue mapping
+// back, so an aggregate whose sources are spread across nodes is ranked
+// by its *fleet-wide* rate, which is the case single-node clustering
+// provably misranks. A node cut off from the coordinator falls back to
+// ranking its own snapshot locally (never to undefended FIFO) and
+// reports the degradation through Health until fleet deploys resume.
+//
+// The layers, bottom up:
+//
+//   - wire.go: the framed message codec. Length-prefixed, CRC-checked,
+//     versioned — TCP-shaped, so the in-process transports used for
+//     deterministic simulation can be swapped for a socket later
+//     without touching the codec.
+//   - transport.go: the Transport seam with two backends — SimTransport
+//     (eventsim-scheduled, deterministic, partitionable) and
+//     ChanTransport (goroutine dispatcher for real-time fleets).
+//   - coordinator.go: merges the latest snapshot from every node and
+//     broadcasts the global ranking, epoch-stamped.
+//   - node.go: the core.Ranker that publishes snapshots, applies fleet
+//     deployments, and degrades to local ranking past a staleness
+//     bound — PR 5's fail-open machinery generalized to "coordinator
+//     unreachable".
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"accturbo/internal/cluster"
+	"accturbo/internal/eventsim"
+)
+
+// Frame layout, little-endian throughout:
+//
+//	"ACCFLEET" | version u16 | type u8 | payloadLen u32 | payload | crc32 u32
+//
+// The CRC (IEEE) covers magic through payload, so a flipped type or
+// length byte is caught, not just payload corruption. payloadLen makes
+// the format self-delimiting on a byte stream: ReadFrame/WriteFrame
+// speak it over any io.Reader/Writer, which is what keeps the framing
+// TCP-shaped while the current backends move whole frames in process.
+const (
+	wireMagic   = "ACCFLEET"
+	wireVersion = 1
+
+	// frameOverhead is every byte that isn't payload.
+	frameOverhead = len(wireMagic) + 2 + 1 + 4 + 4
+
+	// maxFramePayload bounds what ReadFrame will buffer: generous for
+	// any real snapshot (a 4096-slot snapshot with 16 features is under
+	// 1 MiB) while refusing a corrupt length prefix asking for 4 GiB.
+	maxFramePayload = 16 << 20
+)
+
+// Message types.
+const (
+	// MsgSnapshot is a node→coordinator cluster snapshot.
+	MsgSnapshot uint8 = 1
+	// MsgDeploy is a coordinator→node global ranking deployment.
+	MsgDeploy uint8 = 2
+)
+
+// Snapshot is one node's per-window cluster view, as published to the
+// coordinator each poll.
+type Snapshot struct {
+	// Node identifies the publishing vantage point.
+	Node uint32
+	// Seq increases by one per publish from this node; the coordinator
+	// drops reordered duplicates.
+	Seq uint64
+	// At is the node-local poll time the snapshot was taken.
+	At eventsim.Time
+	// Infos is the polled (and reset) window snapshot — slot-aligned
+	// across nodes when every node runs the same SliceInit tiling.
+	Infos []cluster.Info
+}
+
+// Deploy is the coordinator's broadcast: one global cluster→queue
+// mapping for every node.
+type Deploy struct {
+	// Epoch increases by one per broadcast; nodes apply only newer
+	// epochs, so a delayed duplicate cannot roll a mapping back.
+	Epoch uint64
+	// At is the coordinator-local time the ranking was computed.
+	At eventsim.Time
+	// QueueOf maps cluster slot → priority queue, len = the fleet's
+	// slot count.
+	QueueOf []int
+	// Rank is the merged rank metric per slot that produced QueueOf,
+	// carried for node-side interpretability (Decision.Rank).
+	Rank []float64
+}
+
+// enc is a minimal append-only little-endian encoder (the same idiom as
+// the cluster and core codecs; private to each package by design — the
+// codec is the format contract, not a shared utility).
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)    { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)  { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)  { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) raw(b []byte)  { e.b = append(e.b, b...) }
+func (e *enc) str(s string)  { e.b = append(e.b, s...) }
+
+// dec is the matching decoder; the first short read latches err.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("fleet: frame truncated at byte %d", d.off)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// frame wraps a typed payload in the container: magic, version, type,
+// length, payload, CRC over everything before the CRC.
+func frame(msgType uint8, payload []byte) []byte {
+	var e enc
+	e.b = make([]byte, 0, frameOverhead+len(payload))
+	e.str(wireMagic)
+	e.u16(wireVersion)
+	e.u8(msgType)
+	e.u32(uint32(len(payload)))
+	e.raw(payload)
+	e.u32(crc32.ChecksumIEEE(e.b))
+	return e.b
+}
+
+// unframe validates the container and returns (type, payload). The
+// payload aliases data; decode before the buffer is reused.
+func unframe(data []byte) (uint8, []byte, error) {
+	if len(data) < frameOverhead {
+		return 0, nil, fmt.Errorf("fleet: frame of %d bytes is shorter than the %d-byte envelope", len(data), frameOverhead)
+	}
+	if string(data[:len(wireMagic)]) != wireMagic {
+		return 0, nil, fmt.Errorf("fleet: bad magic %q", data[:len(wireMagic)])
+	}
+	body := data[:len(data)-4]
+	sum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return 0, nil, fmt.Errorf("fleet: frame checksum %08x != stored %08x", got, sum)
+	}
+	d := dec{b: body, off: len(wireMagic)}
+	if v := d.u16(); v != wireVersion {
+		return 0, nil, fmt.Errorf("fleet: frame version %d, this build speaks %d", v, wireVersion)
+	}
+	msgType := d.u8()
+	plen := int(d.u32())
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	if plen != len(body)-d.off {
+		return 0, nil, fmt.Errorf("fleet: payload length %d != %d remaining bytes", plen, len(body)-d.off)
+	}
+	return msgType, body[d.off:], nil
+}
+
+// EncodeSnapshot frames a node snapshot for the wire.
+func EncodeSnapshot(s *Snapshot) []byte {
+	var e enc
+	e.u32(s.Node)
+	e.u64(s.Seq)
+	e.u64(uint64(s.At))
+	e.raw(cluster.MarshalInfos(s.Infos))
+	return frame(MsgSnapshot, e.b)
+}
+
+// DecodeSnapshot unframes and decodes a MsgSnapshot frame.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	msgType, payload, err := unframe(data)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != MsgSnapshot {
+		return nil, fmt.Errorf("fleet: message type %d, want snapshot (%d)", msgType, MsgSnapshot)
+	}
+	d := dec{b: payload}
+	s := &Snapshot{
+		Node: d.u32(),
+		Seq:  d.u64(),
+		At:   eventsim.Time(d.u64()),
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	infos, err := cluster.UnmarshalInfos(payload[d.off:])
+	if err != nil {
+		return nil, err
+	}
+	s.Infos = infos
+	return s, nil
+}
+
+// EncodeDeploy frames a global deployment for broadcast.
+func EncodeDeploy(dp *Deploy) []byte {
+	var e enc
+	e.u64(dp.Epoch)
+	e.u64(uint64(dp.At))
+	e.u32(uint32(len(dp.QueueOf)))
+	for _, q := range dp.QueueOf {
+		e.u32(uint32(q))
+	}
+	e.u32(uint32(len(dp.Rank)))
+	for _, r := range dp.Rank {
+		e.f64(r)
+	}
+	return frame(MsgDeploy, e.b)
+}
+
+// DecodeDeploy unframes and decodes a MsgDeploy frame.
+func DecodeDeploy(data []byte) (*Deploy, error) {
+	msgType, payload, err := unframe(data)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != MsgDeploy {
+		return nil, fmt.Errorf("fleet: message type %d, want deploy (%d)", msgType, MsgDeploy)
+	}
+	d := dec{b: payload}
+	dp := &Deploy{
+		Epoch: d.u64(),
+		At:    eventsim.Time(d.u64()),
+	}
+	nq := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nq > len(payload)/4 {
+		return nil, fmt.Errorf("fleet: deploy claims %d queue slots in %d bytes", nq, len(payload))
+	}
+	dp.QueueOf = make([]int, nq)
+	for i := range dp.QueueOf {
+		dp.QueueOf[i] = int(d.u32())
+	}
+	nr := int(d.u32())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if nr > len(payload)/8 {
+		return nil, fmt.Errorf("fleet: deploy claims %d ranks in %d bytes", nr, len(payload))
+	}
+	dp.Rank = make([]float64, nr)
+	for i := range dp.Rank {
+		dp.Rank[i] = d.f64()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("fleet: %d trailing bytes after deploy", len(payload)-d.off)
+	}
+	return dp, nil
+}
+
+// WriteFrame writes one already-encoded frame to a byte stream. Frames
+// are self-delimiting, so consecutive WriteFrame calls need no other
+// separator — this is the socket-backend contract.
+func WriteFrame(w io.Writer, frame []byte) error {
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads exactly one frame from a byte stream: envelope first
+// (fixed size up to the length field), then the payload and CRC. The
+// returned bytes pass straight to DecodeSnapshot/DecodeDeploy. io.EOF
+// at a frame boundary is returned as-is; a partial frame is an
+// ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	head := make([]byte, len(wireMagic)+2+1+4)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	if string(head[:len(wireMagic)]) != wireMagic {
+		return nil, fmt.Errorf("fleet: bad magic %q on stream", head[:len(wireMagic)])
+	}
+	plen := int(binary.LittleEndian.Uint32(head[len(head)-4:]))
+	if plen > maxFramePayload {
+		return nil, fmt.Errorf("fleet: frame payload %d exceeds the %d limit", plen, maxFramePayload)
+	}
+	buf := make([]byte, len(head)+plen+4)
+	copy(buf, head)
+	if _, err := io.ReadFull(r, buf[len(head):]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
