@@ -1,15 +1,34 @@
 // Package sketch provides the probabilistic data structures used by the
-// reproduced systems: a count-min sketch (Jaqen's heavy-hitter
-// detector) and a Bloom filter (ACC-Turbo's nominal-feature admission
-// lists and Jaqen's per-window key tracking).
+// reproduced systems: count-min sketches (Jaqen's heavy-hitter detector
+// and the victim-identification front-end), a Bloom filter (ACC-Turbo's
+// nominal-feature admission lists), and a heavy-keeper top-k (victim
+// ranking).
 //
-// Hashing uses FNV-1a with per-row seeds, which is fast, allocation
-// free, and deterministic across runs.
+// Two families coexist, with different compatibility contracts:
+//
+//   - CountMin and Bloom hash with seeded FNV-1a and index with `%`,
+//     exactly as the seed implementation did. Their per-key bit and
+//     counter placement is pinned by golden experiment hashes and by the
+//     ACCSNAP1 snapshot format (cluster nominal sets serialize Bloom
+//     words verbatim), so only the memory *layout* and dispatch may
+//     change — never the index math. CountMin's counters live on one
+//     contiguous row-major []uint64 (no per-row slice headers, no
+//     pointer chase) but each estimate is bit-identical to the seed's
+//     [][]uint64 matrix, which survives as ReferenceCountMin for
+//     differential tests.
+//
+//   - TurboCountMin and TopK (turbo.go, topk.go) are the wire-speed
+//     variants: one 64-bit mix per key, Kirsch–Mitzenmacher row
+//     derivation, power-of-two masking and a cache-line-blocked layout.
+//     They are differentially tested against the reference rather than
+//     golden-pinned, and callers opt in explicitly (jaqen.Config
+//     .TurboSketch).
 package sketch
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 const (
@@ -41,9 +60,15 @@ func HashBytes(seed uint64, b []byte) uint64 {
 // CountMin is a count-min sketch over 64-bit keys: a rows × cols matrix
 // of counters where each update increments one counter per row and each
 // query returns the row minimum, an overestimate of the true count.
+//
+// The counter matrix is stored row-major on one contiguous slice; row r
+// starts at offset r*cols. Estimates are bit-identical to the seed-era
+// [][]uint64 layout (see ReferenceCountMin), the layout change only
+// removes the per-row slice-header load and pointer chase from the
+// per-packet path.
 type CountMin struct {
 	rows, cols int
-	counts     [][]uint64
+	counts     []uint64 // row-major, len rows*cols
 	// Updates counts Add calls since the last Reset.
 	Updates uint64
 }
@@ -53,35 +78,50 @@ func NewCountMin(rows, cols int) *CountMin {
 	if rows <= 0 || cols <= 0 {
 		panic(fmt.Sprintf("sketch: invalid count-min geometry %dx%d", rows, cols))
 	}
-	cm := &CountMin{rows: rows, cols: cols, counts: make([][]uint64, rows)}
-	for i := range cm.counts {
-		cm.counts[i] = make([]uint64, cols)
-	}
-	return cm
+	return &CountMin{rows: rows, cols: cols, counts: make([]uint64, rows*cols)}
 }
 
 // NewCountMinForError sizes a sketch for additive error epsilon (as a
 // fraction of the stream count) with failure probability delta, per
 // Cormode–Muthukrishnan: cols = ceil(e/epsilon), rows = ceil(ln 1/delta).
 func NewCountMinForError(epsilon, delta float64) *CountMin {
-	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
-		panic(fmt.Sprintf("sketch: invalid epsilon=%v delta=%v", epsilon, delta))
-	}
-	cols := int(math.Ceil(math.E / epsilon))
-	rows := int(math.Ceil(math.Log(1 / delta)))
+	rows, cols := geometryForError(epsilon, delta)
 	return NewCountMin(rows, cols)
 }
 
+// geometryForError is the Cormode–Muthukrishnan sizing shared by the
+// compatible and turbo constructors.
+func geometryForError(epsilon, delta float64) (rows, cols int) {
+	if epsilon <= 0 || epsilon >= 1 || delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("sketch: invalid epsilon=%v delta=%v", epsilon, delta))
+	}
+	cols = int(math.Ceil(math.E / epsilon))
+	rows = int(math.Ceil(math.Log(1 / delta)))
+	return rows, cols
+}
+
 // Add increments key's count by delta and returns the new estimate.
+// Counters saturate at MaxUint64 instead of wrapping: a wrapped counter
+// would silently become the row minimum and poison every estimate of
+// every key sharing it.
 func (cm *CountMin) Add(key uint64, delta uint64) uint64 {
 	cm.Updates++
 	est := uint64(math.MaxUint64)
+	counts := cm.counts
+	cols := uint64(cm.cols)
+	base := 0
 	for r := 0; r < cm.rows; r++ {
-		c := hash64(uint64(r)+1, key) % uint64(cm.cols)
-		cm.counts[r][c] += delta
-		if cm.counts[r][c] < est {
-			est = cm.counts[r][c]
+		c := hash64(uint64(r)+1, key) % cols
+		i := base + int(c)
+		v := counts[i] + delta
+		if v < counts[i] {
+			v = math.MaxUint64 // saturate, never wrap
 		}
+		counts[i] = v
+		if v < est {
+			est = v
+		}
+		base += cm.cols
 	}
 	return est
 }
@@ -89,24 +129,45 @@ func (cm *CountMin) Add(key uint64, delta uint64) uint64 {
 // Estimate returns the (over-)estimated count of key.
 func (cm *CountMin) Estimate(key uint64) uint64 {
 	est := uint64(math.MaxUint64)
+	counts := cm.counts
+	cols := uint64(cm.cols)
+	base := 0
 	for r := 0; r < cm.rows; r++ {
-		c := hash64(uint64(r)+1, key) % uint64(cm.cols)
-		if cm.counts[r][c] < est {
-			est = cm.counts[r][c]
+		c := hash64(uint64(r)+1, key) % cols
+		if v := counts[base+int(c)]; v < est {
+			est = v
 		}
+		base += cm.cols
 	}
 	return est
 }
 
 // Reset zeroes all counters, modeling Jaqen's periodic sketch reset.
 func (cm *CountMin) Reset() {
-	for r := range cm.counts {
-		row := cm.counts[r]
-		for i := range row {
-			row[i] = 0
-		}
-	}
+	clear(cm.counts)
 	cm.Updates = 0
+}
+
+// Words returns a copy of the counter matrix (row-major), for
+// serialization — the count-min mirror of Bloom.Words, so sketch state
+// rides the same snapshot container instead of being rebuilt on
+// restore.
+func (cm *CountMin) Words() []uint64 {
+	out := make([]uint64, len(cm.counts))
+	copy(out, cm.counts)
+	return out
+}
+
+// SetWords overwrites the counter matrix from a serialized copy. The
+// word count must match the sketch's geometry: a sketch restored into a
+// differently-sized one would silently mis-hash every query.
+func (cm *CountMin) SetWords(words []uint64, updates uint64) error {
+	if len(words) != len(cm.counts) {
+		return fmt.Errorf("sketch: count-min has %d words, snapshot has %d", len(cm.counts), len(words))
+	}
+	copy(cm.counts, words)
+	cm.Updates = updates
+	return nil
 }
 
 // Bloom is a fixed-size Bloom filter over 64-bit keys.
@@ -150,18 +211,20 @@ func NewBloomForRate(n int, fp float64) *Bloom {
 // Insert adds key to the filter.
 func (b *Bloom) Insert(key uint64) {
 	b.Inserted++
+	bits := b.bits
 	for i := 0; i < b.hashes; i++ {
 		pos := hash64(uint64(i)+1, key) % b.nbits
-		b.bits[pos/64] |= 1 << (pos % 64)
+		bits[pos/64] |= 1 << (pos % 64)
 	}
 }
 
 // Contains reports whether key may have been inserted (false positives
 // possible, false negatives impossible).
 func (b *Bloom) Contains(key uint64) bool {
+	bits := b.bits
 	for i := 0; i < b.hashes; i++ {
 		pos := hash64(uint64(i)+1, key) % b.nbits
-		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+		if bits[pos/64]&(1<<(pos%64)) == 0 {
 			return false
 		}
 	}
@@ -170,9 +233,7 @@ func (b *Bloom) Contains(key uint64) bool {
 
 // Reset clears the filter.
 func (b *Bloom) Reset() {
-	for i := range b.bits {
-		b.bits[i] = 0
-	}
+	clear(b.bits)
 	b.Inserted = 0
 }
 
@@ -199,9 +260,7 @@ func (b *Bloom) SetWords(words []uint64, inserted uint64) error {
 func (b *Bloom) FillRatio() float64 {
 	set := 0
 	for _, w := range b.bits {
-		for ; w != 0; w &= w - 1 {
-			set++
-		}
+		set += bits.OnesCount64(w)
 	}
 	return float64(set) / float64(b.nbits)
 }
