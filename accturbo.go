@@ -31,6 +31,7 @@ import (
 	"accturbo/internal/experiments"
 	"accturbo/internal/packet"
 	"accturbo/internal/telemetry"
+	"accturbo/internal/victim"
 )
 
 // Re-exported packet vocabulary, so Defense users need no internal
@@ -106,6 +107,31 @@ const (
 	// served by an incrementally maintained merge-cost matrix.
 	SearchExhaustive = cluster.Exhaustive
 )
+
+// Victim identification (ROADMAP item 3): a heavy-keeper detector that
+// ranks the destination aggregates an attack is converging on. Feed it
+// admitted packets' destination keys (DstKey) and byte counts, close
+// windows with Advance, and read the hysteresis-stable victim list —
+// the seam a per-victim mitigation manager plugs into.
+type (
+	// VictimDetector ranks heavy destination aggregates per window.
+	VictimDetector = victim.Detector
+	// VictimConfig sizes a VictimDetector.
+	VictimConfig = victim.Config
+	// Victim is one listed destination aggregate.
+	Victim = victim.Victim
+)
+
+// NewVictimDetector builds a detector after validating cfg.
+var NewVictimDetector = victim.New
+
+// DefaultVictimConfig is an 8-victim detector with a 20%-in/10%-out
+// hysteresis band over a 4×4096 conservative-update sketch.
+var DefaultVictimConfig = victim.DefaultConfig
+
+// DstKey extracts the destination-aggregate key VictimDetector.Observe
+// expects (the IPv4 destination address as a uint64).
+func DstKey(p *Packet) uint64 { return uint64(p.Value(packet.FDstIP)) }
 
 // V4 builds an IPv4 address from four octets.
 var V4 = packet.V4

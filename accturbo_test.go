@@ -140,7 +140,7 @@ func TestDefenseMetrics(t *testing.T) {
 }
 
 func TestExperimentRegistryFacade(t *testing.T) {
-	if got := len(Experiments()); got != 18 {
+	if got := len(Experiments()); got != 20 {
 		t.Fatalf("%d experiments", got)
 	}
 	res, err := RunExperiment("table4", ExperimentOptions{Quick: true, Seed: 1})

@@ -39,6 +39,12 @@
 // with the pre-save deployed decision instead of re-converging; with
 // -restore, -in is optional.
 //
+// Victim identification: -victims K tracks the top-K destination
+// aggregates through the heavy-keeper detector (internal/victim),
+// windowed on capture time (-victim-window ms). The hysteresis-stable
+// victim list prints after the capture drains and is served live as
+// JSON on GET /victims when -metrics-addr is set.
+//
 // Usage:
 //
 //	accturbo-defend -in day.pcap                    # aggregate report
@@ -49,6 +55,7 @@
 //	accturbo-defend -in day.pcap -chaos-seed 7 -fault-spec 'drop:p=0.01;stall:at=5s,for=2s' -fail-open-after 3s
 //	accturbo-defend -in day.pcap -snapshot-out day.snap
 //	accturbo-defend -restore day.snap -in next.pcap
+//	accturbo-defend -in day.pcap -victims 8 -victim-window 500
 package main
 
 import (
@@ -62,6 +69,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -156,6 +164,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the processing loop to this file")
 	restorePath := flag.String("restore", "", "restore defense state from this snapshot file before processing (see -snapshot-out)")
 	snapshotOut := flag.String("snapshot-out", "", "write a defense state snapshot to this file after the capture drains")
+	victimsK := flag.Int("victims", 0, "track the top-K victim destination aggregates per window through the heavy-keeper detector (0 = off; adds GET /victims to -metrics-addr)")
+	victimWindowMs := flag.Int("victim-window", 1000, "victim-detection window length (ms of capture time; used with -victims)")
 	fleetNodes := flag.Int("fleet-nodes", 0, "run this many in-process fleet nodes under one global ranking coordinator (0 = single-node mode); capture traffic is partitioned across nodes by source IP hash")
 	coordinator := flag.Bool("coordinator", true, "with -fleet-nodes: keep the ranking coordinator reachable; false starts the fleet partitioned, so every node runs on its sticky local fallback ranking")
 	flag.Parse()
@@ -170,8 +180,8 @@ func main() {
 	}
 	if *replay {
 		*realtime = true
-		if *verdictsOut != "" || *batchSize > 1 || *faultSpec != "" {
-			fatal(2, "-replay streams raw frames and cannot be combined with -verdicts, -batch, or -fault-spec")
+		if *verdictsOut != "" || *batchSize > 1 || *faultSpec != "" || *victimsK > 0 {
+			fatal(2, "-replay streams raw frames and cannot be combined with -verdicts, -batch, -fault-spec, or -victims")
 		}
 		if *replayLoops < 1 {
 			fatal(2, "-replay-loops must be at least 1")
@@ -233,8 +243,8 @@ func main() {
 	}
 
 	if *fleetNodes > 1 {
-		if *replay || *verdictsOut != "" || *batchSize > 1 || *restorePath != "" || *snapshotOut != "" || *shards > 1 {
-			fatal(2, "-fleet-nodes cannot be combined with -replay, -verdicts, -batch, -restore, -snapshot-out, or -shards")
+		if *replay || *verdictsOut != "" || *batchSize > 1 || *restorePath != "" || *snapshotOut != "" || *shards > 1 || *victimsK > 0 {
+			fatal(2, "-fleet-nodes cannot be combined with -replay, -verdicts, -batch, -restore, -snapshot-out, -shards, or -victims")
 		}
 		runFleet(cfg, *fleetNodes, *coordinator, *metricsAddr, r, injector, *chaosSeed, spec)
 		return
@@ -266,6 +276,25 @@ func main() {
 		sf.Close()
 		fmt.Printf("restored state from %s: %d packets observed, %d deployments, runtime config %s/%v poll\n",
 			*restorePath, d.PacketsObserved(), d.Deployments(), d.Runtime().Ranking, d.Runtime().PollInterval.Duration())
+	}
+
+	// Victim identification rides the capture chokepoint: every packet's
+	// destination key and size feed the heavy-keeper, and windows close
+	// on capture time, so the victim list is deterministic per capture.
+	var vd *accturbo.VictimDetector
+	var victimWindow, victimNextAt time.Duration
+	if *victimsK > 0 {
+		vcfg := accturbo.DefaultVictimConfig()
+		vcfg.TopK = *victimsK
+		vd, err = accturbo.NewVictimDetector(vcfg)
+		if err != nil {
+			fatal(2, err)
+		}
+		victimWindow = time.Duration(*victimWindowMs) * time.Millisecond
+		if victimWindow <= 0 {
+			fatal(2, "-victim-window must be positive")
+		}
+		victimNextAt = victimWindow
 	}
 
 	if *metricsAddr != "" {
@@ -330,6 +359,21 @@ func main() {
 				fmt.Fprintln(os.Stderr, "snapshot:", err)
 			}
 		})
+		if vd != nil {
+			mux.HandleFunc("/victims", func(w http.ResponseWriter, _ *http.Request) {
+				vs := vd.Victims()
+				if vs == nil {
+					vs = []accturbo.Victim{}
+				}
+				w.Header().Set("Content-Type", "application/json")
+				if err := json.NewEncoder(w).Encode(struct {
+					Windows uint64            `json:"windows"`
+					Victims []accturbo.Victim `json:"victims"`
+				}{vd.Windows(), vs}); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			})
+		}
 		srv := &http.Server{Handler: mux}
 		go srv.Serve(ln)
 		defer srv.Close()
@@ -378,6 +422,42 @@ func main() {
 				pending = append(pending, capturedPacket{at: at.Duration(), pkt: c})
 			}
 			return capturedPacket{at: at.Duration(), pkt: p}, true
+		}
+	}
+	// victimPeaks remembers every destination ever listed and its worst
+	// window, so the end-of-run report survives an attack that ends
+	// before the capture does.
+	victimPeaks := map[uint64]accturbo.Victim{}
+	recordVictims := func() {
+		for _, v := range vd.Advance() {
+			if p, ok := victimPeaks[v.Key]; !ok || v.Share > p.Share {
+				old := victimPeaks[v.Key]
+				if v.Windows < old.Windows {
+					v.Windows = old.Windows
+				}
+				victimPeaks[v.Key] = v
+			} else if v.Windows > p.Windows {
+				p.Windows = v.Windows
+				victimPeaks[v.Key] = p
+			}
+		}
+	}
+	if vd != nil {
+		// Every non-replay path pulls packets through next(), so tapping
+		// it here covers deterministic, batched, and real-time modes
+		// alike. Window boundaries advance on capture time.
+		inner := next
+		next = func() (capturedPacket, bool) {
+			c, ok := inner()
+			if !ok {
+				return c, ok
+			}
+			for victimNextAt <= c.at {
+				recordVictims()
+				victimNextAt += victimWindow
+			}
+			vd.Observe(accturbo.DstKey(c.pkt), uint64(c.pkt.Length))
+			return c, true
 		}
 	}
 
@@ -626,6 +706,26 @@ func main() {
 	if h := d.Health(); cfg.FailOpenAfter > 0 && (h.Control.FailOpenEngagements > 0 || h.Control.PanicsRecovered > 0) {
 		fmt.Printf("resilience: %d fail-open engagements, %d watchdog trips, %d panics recovered\n",
 			h.Control.FailOpenEngagements, h.Control.WatchdogTrips, h.Control.PanicsRecovered)
+	}
+	if vd != nil {
+		recordVictims() // close the trailing partial window
+		fmt.Printf("\nvictim aggregates (heavy-keeper, %d windows of %v):\n", vd.Windows(), victimWindow)
+		if len(victimPeaks) == 0 {
+			fmt.Println("  none listed")
+		}
+		keys := make([]uint64, 0, len(victimPeaks))
+		for k := range victimPeaks {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			return victimPeaks[keys[i]].Share > victimPeaks[keys[j]].Share
+		})
+		for _, k := range keys {
+			v := victimPeaks[k]
+			fmt.Printf("  dst %s: peak %8d bytes/window (%5.1f%% share), listed %d window(s)\n",
+				accturbo.V4(byte(k>>24), byte(k>>16), byte(k>>8), byte(k)),
+				v.Bytes, 100*v.Share, v.Windows)
+		}
 	}
 	fmt.Println("\nfinal aggregates (operator view):")
 	for _, info := range d.Clusters() {

@@ -65,3 +65,29 @@ func TestWriteConfigReflectsReconfigure(t *testing.T) {
 		t.Fatalf("generation = %v", got["generation"])
 	}
 }
+
+func TestVictimDetectionThroughFacade(t *testing.T) {
+	cfg := accturbo.DefaultVictimConfig()
+	cfg.TopK = 4
+	vd, err := accturbo.NewVictimDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := accturbo.V4(203, 0, 113, 9)
+	p := &accturbo.Packet{SrcIP: accturbo.V4(10, 0, 0, 1), DstIP: victim, Length: 1200}
+	for i := 0; i < 1000; i++ {
+		vd.Observe(accturbo.DstKey(p), uint64(p.Length))
+	}
+	bg := &accturbo.Packet{SrcIP: accturbo.V4(10, 0, 0, 2), Length: 400}
+	for i := 0; i < 500; i++ {
+		bg.DstIP = accturbo.V4(198, 51, byte(i>>8), byte(i))
+		vd.Observe(accturbo.DstKey(bg), uint64(bg.Length))
+	}
+	vs := vd.Advance()
+	if len(vs) != 1 || vs[0].Key != accturbo.DstKey(p) {
+		t.Fatalf("victims = %+v, want exactly %s", vs, victim)
+	}
+	if vs[0].Share < 0.5 {
+		t.Fatalf("victim share = %v, want > 0.5", vs[0].Share)
+	}
+}

@@ -92,6 +92,8 @@ func All() []Experiment {
 		{ID: "tcp", Title: "Extension: closed-loop AIMD background under a pulse wave", Run: TCPExperiment},
 		{ID: "liveops", Title: "Extension: hot reconfigure and snapshot/restore mid-pulse-wave", Run: LiveOps},
 		{ID: "fleet", Title: "Extension: distributed-source pulse wave — single-node vs fleet ranking", Run: Fleet},
+		{ID: "sketchacc", Title: "Extension: count-min accuracy — compatible vs turbo vs conservative update", Run: SketchAcc},
+		{ID: "victims", Title: "Extension: heavy-keeper victim identification under a pulse wave", Run: Victims},
 	}
 }
 

@@ -42,7 +42,7 @@ func mean(ys []float64, from, to int) float64 {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
+	if len(all) != 20 {
 		t.Fatalf("%d experiments registered", len(all))
 	}
 	seen := map[string]bool{}

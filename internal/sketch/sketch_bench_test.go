@@ -1,0 +1,125 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks run at the Jaqen default geometry (4 rows × 65536 cols)
+// over a pre-generated uniform key stream, so the ns/op numbers are
+// directly comparable across the reference ([][]uint64 + per-row FNV),
+// flat (contiguous + per-row FNV), and turbo (blocked + one mix per
+// key) layouts. BENCH_sketch.json pins them under the CI trend gate;
+// TestSketchHotPathsAllocFree pins the zero-alloc claims.
+
+const benchRows, benchCols = 4, 65536
+
+func benchKeys(n int) []uint64 {
+	r := rand.New(rand.NewSource(1))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64()
+	}
+	return keys
+}
+
+func BenchmarkCountMinAdd(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	b.Run("reference", func(b *testing.B) {
+		cm := NewReferenceCountMin(benchRows, benchCols)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cm.Add(keys[i&(1<<16-1)], 1)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		cm := NewCountMin(benchRows, benchCols)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cm.Add(keys[i&(1<<16-1)], 1)
+		}
+	})
+	b.Run("turbo", func(b *testing.B) {
+		tc := NewTurboCountMin(benchRows, benchCols, false)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tc.Add(keys[i&(1<<16-1)], 1)
+		}
+	})
+	b.Run("turbo-cu", func(b *testing.B) {
+		tc := NewTurboCountMin(benchRows, benchCols, true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tc.Add(keys[i&(1<<16-1)], 1)
+		}
+	})
+}
+
+func BenchmarkCountMinAddBatch(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	tc := NewTurboCountMin(benchRows, benchCols, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(keys) {
+		n := b.N - i
+		if n > len(keys) {
+			n = len(keys)
+		}
+		tc.AddBatch(keys[:n], 1, nil)
+	}
+}
+
+func BenchmarkCountMinEstimateBatch(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	out := make([]uint64, len(keys))
+	tc := NewTurboCountMin(benchRows, benchCols, false)
+	tc.AddBatch(keys, 1, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(keys) {
+		n := b.N - i
+		if n > len(keys) {
+			n = len(keys)
+		}
+		tc.EstimateBatch(keys[:n], out[:n])
+	}
+}
+
+func BenchmarkTopKOffer(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	tk := NewTopK(16, benchRows, 4096, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk.Offer(keys[i&(1<<16-1)], 64)
+	}
+}
+
+// TestSketchHotPathsAllocFree gates the zero-alloc claims directly
+// (the bench-trend gate checks allocs/op too; this fails faster and
+// without -bench).
+func TestSketchHotPathsAllocFree(t *testing.T) {
+	keys := benchKeys(1 << 10)
+	ests := make([]uint64, len(keys))
+
+	cm := NewCountMin(benchRows, 4096)
+	if a := testing.AllocsPerRun(100, func() { cm.Add(keys[0], 1); cm.Estimate(keys[1]) }); a != 0 {
+		t.Fatalf("CountMin Add/Estimate: %.1f allocs/op", a)
+	}
+	tc := NewTurboCountMin(benchRows, 4096, true)
+	if a := testing.AllocsPerRun(100, func() { tc.Add(keys[0], 1); tc.Estimate(keys[1]) }); a != 0 {
+		t.Fatalf("TurboCountMin Add/Estimate: %.1f allocs/op", a)
+	}
+	if a := testing.AllocsPerRun(20, func() {
+		tc.AddBatch(keys, 1, ests)
+		tc.EstimateBatch(keys, ests)
+	}); a != 0 {
+		t.Fatalf("TurboCountMin AddBatch/EstimateBatch: %.1f allocs/op", a)
+	}
+	tk := NewTopK(16, benchRows, 4096, 1)
+	for i, k := range keys {
+		tk.Offer(k, uint64(i%100)+1) // reach steady state (heap full)
+	}
+	if a := testing.AllocsPerRun(100, func() { tk.Offer(keys[3], 7); tk.Offer(^keys[5], 9) }); a != 0 {
+		t.Fatalf("TopK Offer: %.1f allocs/op", a)
+	}
+}

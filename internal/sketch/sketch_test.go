@@ -213,14 +213,6 @@ func TestQuickBloomNoFalseNegatives(t *testing.T) {
 	}
 }
 
-func BenchmarkCountMinAdd(b *testing.B) {
-	cm := NewCountMin(4, 4096)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		cm.Add(uint64(i), 1)
-	}
-}
-
 func BenchmarkBloomInsertContains(b *testing.B) {
 	bl := NewBloom(1<<16, 4)
 	b.ReportAllocs()

@@ -1,0 +1,217 @@
+// Package victim identifies the destination aggregates a volumetric
+// attack is converging on — the victim-identification front-end of
+// ROADMAP item 3 (after Ding et al., "In-Network Volumetric DDoS
+// Victim Identification Using Programmable Commodity Switches").
+//
+// A Detector watches one egress link: every admitted packet's
+// destination key and byte size feed a heavy-keeper top-k
+// (sketch.TopK), and at each window boundary the ranked heavy
+// destinations are compared against hysteresis thresholds — a
+// destination becomes a victim when its share of window bytes crosses
+// ActivateShare and stays listed until it falls below ReleaseShare, so
+// a pulse-wave attacker oscillating around a single threshold cannot
+// make the victim list flap. The ranked list is the seam a multi-tenant
+// mitigation manager plugs into: per-victim scrubbing, per-victim
+// ACC-Turbo instances, or upstream signaling.
+//
+// Determinism: given the same Observe/Advance sequence and Config.Seed,
+// two detectors produce byte-identical victim lists (the heavy-keeper's
+// decay coin flips are seeded) — the property the CI determinism gate
+// checks.
+package victim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"accturbo/internal/sketch"
+)
+
+// Config sizes a Detector.
+type Config struct {
+	// TopK is how many candidate destinations the heavy-keeper tracks;
+	// the victim list is at most this long.
+	TopK int
+	// SketchRows, SketchCols size the backing turbo count-min
+	// (conservative update, power-of-two columns).
+	SketchRows, SketchCols int
+	// ActivateShare is the fraction of a window's bytes a destination
+	// must reach to become a victim.
+	ActivateShare float64
+	// ReleaseShare is the fraction below which a listed victim is
+	// delisted. Must be ≤ ActivateShare; the gap is the hysteresis band.
+	ReleaseShare float64
+	// MinBytes is a floor under which a window is considered idle and
+	// victim states are left untouched (prevents a quiet window from
+	// delisting everything because shares are computed over noise).
+	MinBytes uint64
+	// Seed drives the heavy-keeper's decay randomness.
+	Seed uint64
+}
+
+// DefaultConfig tracks 8 victims over a 4×4096 conservative sketch
+// with a 20%-in / 10%-out hysteresis band.
+func DefaultConfig() Config {
+	return Config{
+		TopK:          8,
+		SketchRows:    4,
+		SketchCols:    4096,
+		ActivateShare: 0.20,
+		ReleaseShare:  0.10,
+		MinBytes:      4096,
+		Seed:          1,
+	}
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.TopK < 1 {
+		return fmt.Errorf("victim: TopK %d < 1", c.TopK)
+	}
+	if c.SketchRows < 1 || c.SketchCols < 1 {
+		return fmt.Errorf("victim: sketch geometry %dx%d", c.SketchRows, c.SketchCols)
+	}
+	if c.ActivateShare <= 0 || c.ActivateShare > 1 {
+		return fmt.Errorf("victim: ActivateShare %v outside (0,1]", c.ActivateShare)
+	}
+	if c.ReleaseShare <= 0 || c.ReleaseShare > c.ActivateShare {
+		return fmt.Errorf("victim: ReleaseShare %v outside (0,ActivateShare=%v]", c.ReleaseShare, c.ActivateShare)
+	}
+	return nil
+}
+
+// Victim is one listed destination aggregate.
+type Victim struct {
+	// Key is the destination aggregate key as fed to Observe.
+	Key uint64 `json:"key"`
+	// Bytes is the victim's volume in the last closed window.
+	Bytes uint64 `json:"bytes"`
+	// Share is Bytes over the window's total.
+	Share float64 `json:"share"`
+	// Windows is how many consecutive closed windows the destination
+	// has been listed.
+	Windows int `json:"windows"`
+}
+
+// Detector ranks heavy destination aggregates per window. Safe for
+// concurrent use.
+type Detector struct {
+	mu  sync.Mutex
+	cfg Config
+	tk  *sketch.TopK
+
+	windowBytes uint64
+	windows     uint64 // closed windows
+
+	// listed is the hysteresis state: key -> consecutive windows listed.
+	listed map[uint64]int
+	// current is the ranked victim list as of the last Advance.
+	current []Victim
+
+	scratch []sketch.Element
+}
+
+// New builds a detector; the configuration is validated first.
+func New(cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:     cfg,
+		tk:      sketch.NewTopK(cfg.TopK, cfg.SketchRows, cfg.SketchCols, cfg.Seed),
+		listed:  make(map[uint64]int, cfg.TopK),
+		scratch: make([]sketch.Element, 0, cfg.TopK),
+	}, nil
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Observe feeds one admitted packet's destination key and byte size
+// into the current window.
+func (d *Detector) Observe(dstKey uint64, bytes uint64) {
+	d.mu.Lock()
+	d.tk.Offer(dstKey, bytes)
+	d.windowBytes += bytes
+	d.mu.Unlock()
+}
+
+// Advance closes the current window: heavy destinations are ranked,
+// hysteresis state moves, and the tracker resets for the next window.
+// Returns the new victim list (shared with Victims; do not mutate).
+func (d *Detector) Advance() []Victim {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	total := d.windowBytes
+	d.windows++
+	if total < d.cfg.MinBytes {
+		// Idle window: keep states, just reset volume tracking so the
+		// next window starts clean.
+		d.tk.Reset()
+		d.windowBytes = 0
+		return d.current
+	}
+
+	d.scratch = d.tk.AppendTop(d.scratch[:0])
+	next := make([]Victim, 0, len(d.scratch))
+	seen := make(map[uint64]bool, len(d.scratch))
+	for _, e := range d.scratch {
+		share := float64(e.Count) / float64(total)
+		streak, wasListed := d.listed[e.Key]
+		keep := share >= d.cfg.ActivateShare ||
+			(wasListed && share >= d.cfg.ReleaseShare)
+		if !keep {
+			continue
+		}
+		seen[e.Key] = true
+		d.listed[e.Key] = streak + 1
+		next = append(next, Victim{
+			Key:     e.Key,
+			Bytes:   e.Count,
+			Share:   share,
+			Windows: streak + 1,
+		})
+	}
+	for k := range d.listed {
+		if !seen[k] {
+			delete(d.listed, k)
+		}
+	}
+	// AppendTop already ranks by count desc/key asc; victims inherit
+	// that order. Sort defensively anyway so the contract doesn't
+	// depend on TopK internals.
+	sort.SliceStable(next, func(i, j int) bool {
+		if next[i].Bytes != next[j].Bytes {
+			return next[i].Bytes > next[j].Bytes
+		}
+		return next[i].Key < next[j].Key
+	})
+	d.current = next
+	d.tk.Reset()
+	d.windowBytes = 0
+	return d.current
+}
+
+// Victims returns the ranked list from the last closed window (shared
+// slice; do not mutate).
+func (d *Detector) Victims() []Victim {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.current
+}
+
+// Windows returns how many windows have been closed.
+func (d *Detector) Windows() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.windows
+}
+
+// PendingBytes returns the bytes observed in the still-open window.
+func (d *Detector) PendingBytes() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.windowBytes
+}

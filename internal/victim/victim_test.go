@@ -1,0 +1,257 @@
+package victim
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// feedWindow pushes a deterministic window of traffic: each entry of
+// heavy gets its byte volume in 1 KiB observations, plus background
+// noise over a wide key range.
+func feedWindow(d *Detector, r *rand.Rand, heavy map[uint64]uint64, noiseBytes uint64) {
+	type obs struct{ k, b uint64 }
+	var all []obs
+	for k, total := range heavy {
+		for got := uint64(0); got < total; got += 1024 {
+			all = append(all, obs{k, 1024})
+		}
+	}
+	for got := uint64(0); got < noiseBytes; got += 512 {
+		all = append(all, obs{0x10000 + r.Uint64()%5000, 512})
+	}
+	r.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	for _, o := range all {
+		d.Observe(o.k, o.b)
+	}
+}
+
+func TestDetectorListsDominantDestination(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	// Destination 7 takes ~60% of the window; noise takes the rest.
+	feedWindow(d, r, map[uint64]uint64{7: 600_000}, 400_000)
+	vs := d.Advance()
+	if len(vs) != 1 || vs[0].Key != 7 {
+		t.Fatalf("victims = %+v, want exactly dst 7", vs)
+	}
+	if vs[0].Share < 0.5 {
+		t.Fatalf("share = %v, want ≥ 0.5", vs[0].Share)
+	}
+	if vs[0].Windows != 1 {
+		t.Fatalf("windows = %d, want 1", vs[0].Windows)
+	}
+}
+
+func TestDetectorHysteresis(t *testing.T) {
+	cfg := DefaultConfig() // activate 0.20, release 0.10
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+
+	// Window 1: dst 9 at 30% — activates.
+	feedWindow(d, r, map[uint64]uint64{9: 300_000}, 700_000)
+	if vs := d.Advance(); len(vs) != 1 || vs[0].Key != 9 {
+		t.Fatalf("window 1: victims = %+v, want dst 9", vs)
+	}
+	// Window 2: dst 9 sags to ~14% — inside the hysteresis band, stays
+	// listed (a fresh destination at 14% would NOT activate).
+	feedWindow(d, r, map[uint64]uint64{9: 140_000}, 860_000)
+	vs := d.Advance()
+	if len(vs) != 1 || vs[0].Key != 9 {
+		t.Fatalf("window 2: victims = %+v, want dst 9 held by hysteresis", vs)
+	}
+	if vs[0].Windows != 2 {
+		t.Fatalf("window 2: streak = %d, want 2", vs[0].Windows)
+	}
+	// A different destination at the same 14% share does not activate.
+	feedWindow(d, r, map[uint64]uint64{9: 140_000, 11: 140_000}, 720_000)
+	vs = d.Advance()
+	if len(vs) != 1 || vs[0].Key != 9 {
+		t.Fatalf("window 3: victims = %+v, want only the held dst 9", vs)
+	}
+	// Window 4: dst 9 collapses below release — delisted, streak gone.
+	feedWindow(d, r, map[uint64]uint64{9: 50_000}, 950_000)
+	if vs := d.Advance(); len(vs) != 0 {
+		t.Fatalf("window 4: victims = %+v, want none", vs)
+	}
+	// Re-activation starts a fresh streak.
+	feedWindow(d, r, map[uint64]uint64{9: 300_000}, 700_000)
+	if vs := d.Advance(); len(vs) != 1 || vs[0].Windows != 1 {
+		t.Fatalf("window 5: victims = %+v, want dst 9 with streak 1", vs)
+	}
+}
+
+func TestDetectorIdleWindowKeepsState(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	feedWindow(d, r, map[uint64]uint64{5: 500_000}, 500_000)
+	d.Advance()
+	// An (almost) empty window must not delist the victim.
+	d.Observe(123, 64)
+	vs := d.Advance()
+	if len(vs) != 1 || vs[0].Key != 5 {
+		t.Fatalf("idle window cleared victims: %+v", vs)
+	}
+}
+
+func TestDetectorDeterminism(t *testing.T) {
+	run := func() []Victim {
+		d, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(4))
+		var last []Victim
+		for w := 0; w < 5; w++ {
+			heavy := map[uint64]uint64{
+				uint64(100 + w%3): 400_000,
+				uint64(200):       250_000,
+			}
+			feedWindow(d, r, heavy, 350_000)
+			last = d.Advance()
+		}
+		return last
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("victim %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDetectorSnapshotRoundTrip(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	feedWindow(d, r, map[uint64]uint64{42: 500_000, 43: 300_000}, 200_000)
+	d.Advance()
+	feedWindow(d, r, map[uint64]uint64{42: 400_000}, 300_000) // open window
+
+	var buf bytes.Buffer
+	if err := d.Marshal(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	clone, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.Unmarshal(bytes.NewReader(blob)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Save → restore → save must be byte-identical.
+	var buf2 bytes.Buffer
+	if err := clone.Marshal(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, buf2.Bytes()) {
+		t.Fatal("save → restore → save not byte-identical")
+	}
+
+	// And behavior continues identically (open window, RNG, hysteresis).
+	for _, det := range []*Detector{d, clone} {
+		rr := rand.New(rand.NewSource(6))
+		feedWindow(det, rr, map[uint64]uint64{42: 100_000}, 100_000)
+	}
+	a, b := d.Advance(), clone.Advance()
+	if len(a) != len(b) {
+		t.Fatalf("post-restore windows diverged: %+v vs %+v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("post-restore victim %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDetectorSnapshotRejectsCorruption(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	r := rand.New(rand.NewSource(7))
+	feedWindow(d, r, map[uint64]uint64{1: 100_000}, 50_000)
+	d.Advance()
+	var buf bytes.Buffer
+	if err := d.Marshal(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	flip := append([]byte(nil), blob...)
+	flip[len(flip)/2] ^= 0x40
+	if err := d.Unmarshal(bytes.NewReader(flip)); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+	if err := d.Unmarshal(bytes.NewReader(blob[:len(blob)-3])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+
+	small, _ := New(Config{TopK: 2, SketchRows: 4, SketchCols: 4096,
+		ActivateShare: 0.2, ReleaseShare: 0.1, Seed: 1})
+	if err := small.Unmarshal(bytes.NewReader(blob)); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestDetectorConcurrentObserve(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				d.Observe(uint64(g), 1000)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = d.Advance(); _ = d.Victims() }()
+	wg.Wait()
+	<-done
+	d.Advance()
+	var total uint64
+	for _, v := range d.Victims() {
+		total += v.Bytes
+	}
+	if got := d.PendingBytes(); got != 0 {
+		t.Fatalf("pending bytes after Advance = %d", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{TopK: 0, SketchRows: 4, SketchCols: 64, ActivateShare: 0.2, ReleaseShare: 0.1},
+		{TopK: 4, SketchRows: 0, SketchCols: 64, ActivateShare: 0.2, ReleaseShare: 0.1},
+		{TopK: 4, SketchRows: 4, SketchCols: 64, ActivateShare: 1.5, ReleaseShare: 0.1},
+		{TopK: 4, SketchRows: 4, SketchCols: 64, ActivateShare: 0.2, ReleaseShare: 0.3},
+		{TopK: 4, SketchRows: 4, SketchCols: 64, ActivateShare: 0.2, ReleaseShare: 0},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
