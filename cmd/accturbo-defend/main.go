@@ -45,6 +45,25 @@
 // victim list prints after the capture drains and is served live as
 // JSON on GET /victims when -metrics-addr is set.
 //
+// Multi-process fleet (real TCP): -coordinator-listen runs the
+// standalone ranking coordinator; -coordinator-addr (with -node-id)
+// runs one vantage-point node that dials it over the ACCFLEET wire
+// protocol with heartbeats and seeded-backoff reconnect. A node that
+// loses the coordinator degrades to fleet-fallback:local ranking —
+// never undefended FIFO — and recovers automatically when the link
+// returns; watch it live on each process's -metrics-addr /health
+// (the coordinator's reports per-node last-seen ages). -run-for keeps
+// a node polling after its capture drains so liveness demos and smoke
+// tests can kill and restart the coordinator mid-run.
+//
+// Socket-level chaos: -chaos-proxy/-chaos-proxy-target relays node
+// connections through a deterministic fault injector (byte corruption
+// every -chaos-corrupt-every bytes, mid-frame RSTs every
+// -chaos-reset-every, stalls every -chaos-delay-every for
+// -chaos-delay-for), all seeded by -chaos-seed. -chaos-plan renders
+// the exact per-connection fault schedule without opening a socket —
+// CI diffs two renders as the determinism gate.
+//
 // Usage:
 //
 //	accturbo-defend -in day.pcap                    # aggregate report
@@ -56,6 +75,10 @@
 //	accturbo-defend -in day.pcap -snapshot-out day.snap
 //	accturbo-defend -restore day.snap -in next.pcap
 //	accturbo-defend -in day.pcap -victims 8 -victim-window 500
+//	accturbo-defend -coordinator-listen :7100 -metrics-addr :9100
+//	accturbo-defend -in day.pcap -coordinator-addr :7100 -node-id 1 -metrics-addr :9101 -run-for 30s
+//	accturbo-defend -chaos-proxy :7200 -chaos-proxy-target :7100 -chaos-seed 7 -chaos-corrupt-every 4096
+//	accturbo-defend -chaos-plan 3 -chaos-seed 7 -chaos-corrupt-every 4096 -chaos-reset-every 32768
 package main
 
 import (
@@ -76,6 +99,7 @@ import (
 
 	"accturbo"
 	"accturbo/internal/faults"
+	"accturbo/internal/fleet"
 	"accturbo/internal/packet"
 	"accturbo/internal/pcap"
 )
@@ -168,8 +192,40 @@ func main() {
 	victimWindowMs := flag.Int("victim-window", 1000, "victim-detection window length (ms of capture time; used with -victims)")
 	fleetNodes := flag.Int("fleet-nodes", 0, "run this many in-process fleet nodes under one global ranking coordinator (0 = single-node mode); capture traffic is partitioned across nodes by source IP hash")
 	coordinator := flag.Bool("coordinator", true, "with -fleet-nodes: keep the ranking coordinator reachable; false starts the fleet partitioned, so every node runs on its sticky local fallback ranking")
+	coordListen := flag.String("coordinator-listen", "", "run the standalone fleet ranking coordinator on this TCP address (multi-process fleet mode; no capture needed)")
+	coordAddr := flag.String("coordinator-addr", "", "run as one fleet node dialing the coordinator at this TCP address (multi-process fleet mode; use with -node-id)")
+	nodeID := flag.Uint("node-id", 1, "this node's fleet id (>= 1, unique per fleet; used with -coordinator-addr)")
+	runFor := flag.Duration("run-for", 0, "multi-process fleet modes: keep running (and polling) this long after the capture drains (0 = forever for -coordinator-listen/-chaos-proxy, exit after drain for nodes)")
+	chaosProxyAddr := flag.String("chaos-proxy", "", "run a socket-level chaos relay on this TCP address (use with -chaos-proxy-target and the -chaos-* schedule flags)")
+	chaosProxyTarget := flag.String("chaos-proxy-target", "", "the address the chaos relay forwards to (usually the coordinator)")
+	chaosCorruptEvery := flag.Int("chaos-corrupt-every", 0, "chaos relay: XOR one byte roughly every N relayed bytes (0 = off)")
+	chaosResetEvery := flag.Int("chaos-reset-every", 0, "chaos relay: hard-reset the connection (RST) roughly every N relayed bytes (0 = off)")
+	chaosDelayEvery := flag.Int("chaos-delay-every", 0, "chaos relay: stall the relay roughly every N relayed bytes (0 = off)")
+	chaosDelayFor := flag.Duration("chaos-delay-for", 50*time.Millisecond, "chaos relay: stall duration for -chaos-delay-every")
+	chaosPlan := flag.Int("chaos-plan", 0, "print the deterministic chaos-relay fault schedule for this many connections and exit (determinism gate; uses the -chaos-* flags)")
+	chaosPlanHorizon := flag.Uint64("chaos-plan-horizon", 1<<16, "bytes of each connection direction the -chaos-plan render covers")
 	flag.Parse()
-	if *in == "" && *restorePath == "" {
+
+	tcpChaos := fleet.ChaosSpec{
+		Seed:         *chaosSeed,
+		CorruptEvery: *chaosCorruptEvery,
+		ResetEvery:   *chaosResetEvery,
+		DelayEvery:   *chaosDelayEvery,
+		DelayFor:     *chaosDelayFor,
+	}
+	if *chaosPlan > 0 {
+		fmt.Print(tcpChaos.Plan(*chaosPlan, *chaosPlanHorizon))
+		return
+	}
+	if *chaosProxyAddr != "" {
+		if *chaosProxyTarget == "" {
+			fatal(2, "-chaos-proxy needs -chaos-proxy-target")
+		}
+		runChaosProxy(*chaosProxyAddr, *chaosProxyTarget, tcpChaos, *runFor)
+		return
+	}
+	tcpFleetMode := *coordListen != "" || *coordAddr != ""
+	if *in == "" && *restorePath == "" && !tcpFleetMode {
 		fatal(2, "missing -in capture (or -restore snapshot)")
 	}
 	if *replay && *in == "" {
@@ -240,6 +296,21 @@ func main() {
 		// timeline in replay mode, wall time since startup in real-time
 		// mode. The watchdog stays on the unwrapped clock either way.
 		cfg.WrapClock = injector.ClockWrapper()
+	}
+
+	if tcpFleetMode {
+		if *coordListen != "" && *coordAddr != "" {
+			fatal(2, "-coordinator-listen and -coordinator-addr are different processes; pick one")
+		}
+		if *fleetNodes > 0 || *replay || *verdictsOut != "" || *batchSize > 1 || *restorePath != "" || *snapshotOut != "" || *shards > 1 || *victimsK > 0 {
+			fatal(2, "multi-process fleet modes cannot be combined with -fleet-nodes, -replay, -verdicts, -batch, -restore, -snapshot-out, -shards, or -victims")
+		}
+		if *coordListen != "" {
+			runTCPCoordinator(cfg, *coordListen, *metricsAddr, *runFor)
+		} else {
+			runTCPNode(cfg, *coordAddr, uint32(*nodeID), *metricsAddr, r, injector, *runFor)
+		}
+		return
 	}
 
 	if *fleetNodes > 1 {
@@ -888,4 +959,194 @@ func runFleet(cfg accturbo.Config, nodes int, coordinatorUp bool, metricsAddr st
 	if len(merged) == 0 {
 		fmt.Println("  (no merged view: no node reached the coordinator)")
 	}
+}
+
+// waitRunFor blocks for runFor, or forever when runFor is zero (the
+// process is expected to be killed — the smoke-test shape).
+func waitRunFor(runFor time.Duration) {
+	if runFor > 0 {
+		time.Sleep(runFor)
+		return
+	}
+	select {}
+}
+
+// runTCPCoordinator is the -coordinator-listen path: the standalone
+// ranking coordinator of a multi-process fleet. Its /health reports the
+// merge counters plus each connected node's last-seen age, so an
+// operator can spot a silent vantage point before its snapshots stop
+// mattering.
+func runTCPCoordinator(cfg accturbo.Config, listen, metricsAddr string, runFor time.Duration) {
+	c, err := accturbo.NewFleetTCPCoordinator(accturbo.FleetTCPCoordinatorConfig{
+		ListenAddr: listen,
+		Node:       cfg,
+	})
+	if err != nil {
+		fatal(1, err)
+	}
+	defer c.Close()
+	fmt.Printf("fleet coordinator listening on %s\n", c.Addr())
+
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			fatal(1, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+			type nodeAge struct {
+				Node       uint32  `json:"node"`
+				LastSeenMs float64 `json:"last_seen_ms"`
+			}
+			ages := c.NodeAges()
+			nodes := make([]nodeAge, 0, len(ages))
+			for id, age := range ages {
+				nodes = append(nodes, nodeAge{Node: id, LastSeenMs: float64(age) / float64(time.Millisecond)})
+			}
+			sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(map[string]any{
+				"nodes":       nodes,
+				"coordinator": c.Stats(),
+				"transport":   c.TransportStats(),
+			})
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("serving coordinator health on http://%s/health\n", ln.Addr())
+	}
+
+	waitRunFor(runFor)
+	cs, ts := c.Stats(), c.TransportStats()
+	fmt.Printf("coordinator: %d nodes reporting, epoch %d, %d merges, %d rejected frames\n",
+		cs.Nodes, cs.Epoch, cs.Merges, cs.Rejected)
+	fmt.Printf("transport: %d accepted, %d frames in, %d out, %d CRC resets, %d shed, %d drops (no peer %d, queue full %d)\n",
+		ts.Accepted, ts.FramesIn, ts.FramesOut, ts.CRCResets, ts.PeersShed,
+		ts.DropsNoPeer+ts.DropsQueueFull, ts.DropsNoPeer, ts.DropsQueueFull)
+}
+
+// runTCPNode is the -coordinator-addr path: one vantage-point node of a
+// multi-process fleet. The capture (when given) replays through the
+// node's own pipeline; afterwards the node keeps polling for -run-for,
+// so its snapshots, heartbeats, and fallback/recovery transitions stay
+// observable on /health while a smoke test kills and restarts the
+// coordinator around it.
+func runTCPNode(cfg accturbo.Config, addr string, id uint32, metricsAddr string,
+	r *pcap.Reader, injector *faults.Injector, runFor time.Duration) {
+	n, err := accturbo.NewFleetTCP(accturbo.FleetTCPConfig{
+		CoordinatorAddr: addr,
+		NodeID:          id,
+		Node:            cfg,
+	})
+	if err != nil {
+		fatal(1, err)
+	}
+	defer n.Close()
+	d := n.Defense()
+	fmt.Printf("fleet node %d dialing coordinator at %s\n", id, addr)
+
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			fatal(1, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := d.WriteMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+			h := d.Health()
+			w.Header().Set("Content-Type", "application/json")
+			if h.Degraded {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			json.NewEncoder(w).Encode(map[string]any{
+				"node":      id,
+				"connected": n.Connected(),
+				"health":    h,
+				"ranker":    n.Stats(),
+				"transport": n.TransportStats(),
+			})
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("serving node health on http://%s/health\n", ln.Addr())
+	}
+
+	// Replay the capture through this node at the same data-driven poll
+	// cadence as -fleet-nodes, with packet-level chaos when asked.
+	total := 0
+	var pending []capturedPacket
+	for r != nil {
+		var c capturedPacket
+		if len(pending) > 0 {
+			c, pending = pending[0], pending[1:]
+		} else {
+			at, p, err := r.Next()
+			if err != nil {
+				break
+			}
+			c = capturedPacket{at: at.Duration(), pkt: p}
+			if injector != nil {
+				drop, dup := injector.Mangle(p)
+				if drop {
+					continue
+				}
+				if dup {
+					cp := new(packet.Packet)
+					*cp = *p
+					pending = append(pending, capturedPacket{at: c.at, pkt: cp})
+				}
+			}
+		}
+		d.Process(c.at, c.pkt)
+		total++
+		if total%5000 == 0 {
+			d.Poll()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Keep the control loop visibly alive: each tick publishes a
+	// snapshot (and applies or ages out fleet deployments), which is
+	// what lets /health show fallback and recovery in real time.
+	deadline := time.Now().Add(runFor)
+	for runFor > 0 && time.Now().Before(deadline) {
+		d.Poll()
+		time.Sleep(20 * time.Millisecond)
+	}
+	for round := 0; round < 3; round++ {
+		d.Poll()
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	h := d.Health()
+	st := n.Stats()
+	ts := n.TransportStats()
+	fmt.Printf("node %d: %d pkts, ranking source %s, degraded=%v, fleet/local polls %d/%d\n",
+		id, total, h.Control.RankSource, h.Degraded, st.FleetPolls, st.LocalPolls)
+	fmt.Printf("transport: %d dials, %d connects, %d frames out, %d in, %d CRC resets, %d drops (disconnected %d, queue full %d)\n",
+		ts.Dials, ts.Connects, ts.FramesOut, ts.FramesIn, ts.CRCResets,
+		ts.DropsDisconnected+ts.DropsQueueFull, ts.DropsDisconnected, ts.DropsQueueFull)
+}
+
+// runChaosProxy is the -chaos-proxy path: a deterministic socket-level
+// fault injector relaying node connections to the coordinator.
+func runChaosProxy(listen, target string, spec fleet.ChaosSpec, runFor time.Duration) {
+	p, err := fleet.NewChaosProxy(listen, target, spec)
+	if err != nil {
+		fatal(1, err)
+	}
+	defer p.Close()
+	fmt.Printf("chaos proxy on %s -> %s (seed %d, corrupt-every %d, reset-every %d, delay-every %d for %s)\n",
+		p.Addr(), target, spec.Seed, spec.CorruptEvery, spec.ResetEvery, spec.DelayEvery, spec.DelayFor)
+	waitRunFor(runFor)
+	st := p.Stats()
+	fmt.Printf("chaos proxy: %d connections, %d bytes forwarded, %d corrupted, %d resets, %d delays, %d refused while partitioned\n",
+		st.Connections, st.BytesForwarded, st.BytesCorrupted, st.ResetsInjected, st.DelaysInjected, st.PartitionRefused)
 }

@@ -1,0 +1,224 @@
+package accturbo
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"accturbo/internal/core"
+	"accturbo/internal/fleet"
+)
+
+// TCP fleet re-exports, so multi-process operators need no internal
+// imports for the common path.
+type (
+	// FleetTCPOptions tunes the socket transport (heartbeats, timeouts,
+	// queue depths, reconnect backoff); the zero value is
+	// production-shaped.
+	FleetTCPOptions = fleet.TCPOptions
+	// FleetTCPNodeTransportStats is the node-side socket counter
+	// snapshot (dials, reconnects, drops, CRC resets).
+	FleetTCPNodeTransportStats = fleet.TCPNodeStats
+	// FleetTCPCoordinatorTransportStats is the listener-side socket
+	// counter snapshot (accepts, sheds, drops, CRC resets).
+	FleetTCPCoordinatorTransportStats = fleet.TCPCoordinatorStats
+)
+
+// FleetTCPCoordinatorConfig parameterizes NewFleetTCPCoordinator.
+type FleetTCPCoordinatorConfig struct {
+	// ListenAddr is the TCP address nodes dial (":0" picks a free port;
+	// read it back with Addr).
+	ListenAddr string
+	// Node carries the fleet's structural settings — MaxClusters,
+	// NumQueues, Ranking, Distance must match what every node runs, for
+	// the same reason FleetConfig shares one Config: slot identity is
+	// what makes the slot-wise merge meaningful.
+	Node Config
+	// Transport tunes the socket layer.
+	Transport FleetTCPOptions
+}
+
+// FleetTCPCoordinator is the standalone coordinator process of a
+// multi-process fleet: the same merge-and-broadcast Coordinator the
+// in-process Fleet embeds, behind a real TCP listener. Nodes connect
+// with NewFleetTCP from their own processes (or hosts).
+type FleetTCPCoordinator struct {
+	tr    *fleet.TCPCoordinatorTransport
+	coord *fleet.Coordinator
+
+	closeOnce sync.Once
+}
+
+// NewFleetTCPCoordinator starts a coordinator listening on
+// cfg.ListenAddr.
+func NewFleetTCPCoordinator(cfg FleetTCPCoordinatorConfig) (*FleetTCPCoordinator, error) {
+	if err := cfg.Node.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Node.NumQueues == 0 {
+		cfg.Node.NumQueues = cfg.Node.Clustering.MaxClusters
+	}
+	tr, err := fleet.ListenTCP(cfg.ListenAddr, cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := fleet.NewCoordinator(tr, fleet.CoordinatorConfig{
+		Slots:     cfg.Node.Clustering.MaxClusters,
+		NumQueues: cfg.Node.NumQueues,
+		Ranking:   cfg.Node.Ranking,
+		Distance:  cfg.Node.Clustering.Distance,
+	})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	return &FleetTCPCoordinator{tr: tr, coord: coord}, nil
+}
+
+// Addr returns the listener's bound address — what nodes dial.
+func (c *FleetTCPCoordinator) Addr() string { return c.tr.Addr() }
+
+// Stats returns the coordinator's merge/broadcast counters.
+func (c *FleetTCPCoordinator) Stats() FleetCoordinatorStats { return c.coord.Stats() }
+
+// TransportStats returns the socket layer's counters.
+func (c *FleetTCPCoordinator) TransportStats() FleetTCPCoordinatorTransportStats {
+	return c.tr.Stats()
+}
+
+// NodeAges reports, per connected node id, how long ago its last frame
+// (snapshot or heartbeat) arrived — the per-node liveness view /health
+// serves. A node that disconnected is absent.
+func (c *FleetTCPCoordinator) NodeAges() map[uint32]time.Duration { return c.tr.LastSeen() }
+
+// MergedClusters returns the fleet-wide slot-merged cluster snapshot.
+func (c *FleetTCPCoordinator) MergedClusters() []ClusterInfo { return c.coord.MergedView() }
+
+// LastGlobalDecision returns the most recently broadcast global
+// decision (nil before the first node reports).
+func (c *FleetTCPCoordinator) LastGlobalDecision() *Decision { return c.coord.LastDecision() }
+
+// Close stops the listener and tears down every node connection;
+// idempotent, returns after all transport goroutines exit.
+func (c *FleetTCPCoordinator) Close() {
+	c.closeOnce.Do(func() {
+		c.tr.Close()
+	})
+}
+
+// FleetTCPConfig parameterizes NewFleetTCP.
+type FleetTCPConfig struct {
+	// CoordinatorAddr is the coordinator's TCP address (its ListenAddr,
+	// or a chaos proxy in front of it).
+	CoordinatorAddr string
+	// NodeID identifies this vantage point: >= 1 and unique across the
+	// fleet (the coordinator keys snapshots and connections by it).
+	NodeID uint32
+	// Node is this node's pipeline configuration; structural settings
+	// must match the coordinator's. Node.Ranker must be nil.
+	Node Config
+	// StaleAfter is the partition-detection bound, exactly as in
+	// FleetConfig: no fleet deployment for this long means local
+	// fallback ranking. Zero defaults to 3x Node.PollInterval.
+	StaleAfter VirtualTime
+	// Transport tunes the socket layer; Transport.Seed drives the
+	// reconnect-backoff jitter stream.
+	Transport FleetTCPOptions
+}
+
+// FleetTCPNode is one vantage point of a multi-process fleet: a full
+// real-time Defense whose ranker publishes snapshots to, and applies
+// deployments from, a FleetTCPCoordinator over TCP. Construction does
+// not wait for the connection — the node starts on its local fallback
+// ranking and upgrades to "fleet" when the link (and the first
+// deployment) lands, which is also how it rides out coordinator
+// outages: the transport reconnects with seeded backoff while the
+// ranker degrades to fleet-fallback:local, never to undefended FIFO.
+type FleetTCPNode struct {
+	tr     *fleet.TCPTransport
+	ranker *fleet.Node
+	d      *Defense
+
+	closeOnce sync.Once
+}
+
+// NewFleetTCP starts a fleet node dialing cfg.CoordinatorAddr.
+func NewFleetTCP(cfg FleetTCPConfig) (*FleetTCPNode, error) {
+	if cfg.NodeID == 0 {
+		return nil, fmt.Errorf("accturbo: FleetTCPConfig.NodeID must be >= 1 (0 is the coordinator)")
+	}
+	if cfg.Node.Ranker != nil {
+		return nil, fmt.Errorf("accturbo: FleetTCPConfig.Node.Ranker must be nil; the fleet installs its own ranker")
+	}
+	if err := cfg.Node.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Node.NumQueues == 0 {
+		cfg.Node.NumQueues = cfg.Node.Clustering.MaxClusters
+	}
+	staleAfter := cfg.StaleAfter
+	if staleAfter <= 0 {
+		staleAfter = 3 * cfg.Node.PollInterval
+	}
+	tr, err := fleet.DialTCP(cfg.CoordinatorAddr, cfg.NodeID, cfg.Transport)
+	if err != nil {
+		return nil, err
+	}
+	// Same wiring order as NewFleetE: clock before ranker (arrival
+	// stamps), ranker before control plane.
+	clock := core.NewWallClock()
+	ranker, err := fleet.NewNode(cfg.NodeID, tr, clock.Now, fleet.NodeConfig{
+		Slots:      cfg.Node.Clustering.MaxClusters,
+		NumQueues:  cfg.Node.NumQueues,
+		StaleAfter: staleAfter,
+	})
+	if err != nil {
+		clock.Close()
+		tr.Close()
+		return nil, err
+	}
+	nodeCfg := cfg.Node
+	nodeCfg.Ranker = ranker
+	d := &Defense{
+		cfg:   nodeCfg,
+		clock: clock,
+		dp:    core.NewDataplane(nodeCfg, true),
+	}
+	cp, err := core.NewControlPlaneE(d.dp, clock, nodeCfg)
+	if err != nil {
+		clock.Close()
+		tr.Close()
+		return nil, err
+	}
+	d.cp = cp
+	d.describe()
+	cp.Start()
+	return &FleetTCPNode{tr: tr, ranker: ranker, d: d}, nil
+}
+
+// Defense returns the node's pipeline. Do not Close it directly;
+// FleetTCPNode.Close owns the shutdown ordering.
+func (n *FleetTCPNode) Defense() *Defense { return n.d }
+
+// Stats returns the node's fleet ranker counters (publishes, fleet vs
+// fallback polls, rejected deploys).
+func (n *FleetTCPNode) Stats() FleetNodeStats { return n.ranker.Stats() }
+
+// TransportStats returns the socket layer's counters.
+func (n *FleetTCPNode) TransportStats() FleetTCPNodeTransportStats { return n.tr.Stats() }
+
+// Connected reports whether the coordinator link is up right now. Note
+// the ranking source lags this by design: a freshly connected node
+// stays on fallback until the next deployment lands, and a freshly
+// disconnected one rides the last deployment until StaleAfter expires.
+func (n *FleetTCPNode) Connected() bool { return n.tr.Connected() }
+
+// Close stops the node: pipeline first — after which the ranker cannot
+// publish — then the transport, mirroring Fleet.Close. Idempotent;
+// returns after every transport goroutine exits.
+func (n *FleetTCPNode) Close() {
+	n.closeOnce.Do(func() {
+		n.d.Close()
+		n.tr.Close()
+	})
+}

@@ -24,33 +24,6 @@ import (
 	"accturbo/internal/telemetry"
 )
 
-// rng is a splitmix64 stream: tiny, fast, and fully determined by its
-// seed, which is all fault injection needs.
-type rng struct{ state uint64 }
-
-func (r *rng) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// float64 returns a uniform draw in [0, 1).
-func (r *rng) float64() float64 { return float64(r.next()>>11) / (1 << 53) }
-
-// prob reports a Bernoulli(p) trial. Degenerate probabilities do not
-// consume a draw, so a disabled fault class never advances its stream.
-func (r *rng) prob(p float64) bool {
-	if p <= 0 {
-		return false
-	}
-	if p >= 1 {
-		return true
-	}
-	return r.float64() < p
-}
-
 // Injector applies a Spec's faults, counting every injection in
 // telemetry so experiments and the /metrics endpoint can report exactly
 // how much chaos a run experienced. Per-fault-class RNG streams are
@@ -62,8 +35,8 @@ func (r *rng) prob(p float64) bool {
 // (e.g. a metrics scrape) is safe.
 type Injector struct {
 	spec      Spec
-	mangleRNG rng
-	sinkRNG   rng
+	mangleRNG Rand
+	sinkRNG   Rand
 
 	// pendingDups tracks duplicate copies scheduled for re-injection so
 	// the interposer passes them through un-mangled: a duplicate is
@@ -88,8 +61,8 @@ func New(seed uint64, spec Spec) *Injector {
 		spec: spec,
 		// Distinct stream constants keep the fault classes independent:
 		// turning one on or off never shifts another's draws.
-		mangleRNG: rng{state: seed ^ 0x6d616e676c65}, // "mangle"
-		sinkRNG:   rng{state: seed ^ 0x73696e6b6661}, // "sinkfa"
+		mangleRNG: *NewRand(seed ^ 0x6d616e676c65), // "mangle"
+		sinkRNG:   *NewRand(seed ^ 0x73696e6b6661), // "sinkfa"
 	}
 }
 
@@ -145,14 +118,14 @@ func (inj *Injector) FlapLinks(eng *eventsim.Engine, port *netsim.Port) {
 // mechanics (copying, scheduling) because they differ between the
 // simulator's pooled packets and the real-time pcap path.
 func (inj *Injector) Mangle(p *packet.Packet) (drop, dup bool) {
-	if inj.mangleRNG.prob(inj.spec.DropP) {
+	if inj.mangleRNG.Prob(inj.spec.DropP) {
 		inj.PacketsDropped.Inc()
 		return true, false
 	}
-	if inj.mangleRNG.prob(inj.spec.CorruptP) {
+	if inj.mangleRNG.Prob(inj.spec.CorruptP) {
 		inj.corrupt(p)
 	}
-	if inj.mangleRNG.prob(inj.spec.DupP) {
+	if inj.mangleRNG.Prob(inj.spec.DupP) {
 		inj.PacketsDuplicated.Inc()
 		dup = true
 	}
@@ -165,7 +138,7 @@ func (inj *Injector) Mangle(p *packet.Packet) (drop, dup bool) {
 // true wire size.
 func (inj *Injector) corrupt(p *packet.Packet) {
 	inj.PacketsCorrupted.Inc()
-	bits := inj.mangleRNG.next()
+	bits := inj.mangleRNG.Next()
 	switch bits % 5 {
 	case 0:
 		p.TTL ^= uint8(bits >> 8)

@@ -30,7 +30,7 @@ func (inj *Injector) WrapSink(s telemetry.Sink) telemetry.Sink {
 }
 
 func (fs *FaultySink) fail() bool {
-	if fs.inj.sinkRNG.prob(fs.p) {
+	if fs.inj.sinkRNG.Prob(fs.p) {
 		fs.inj.SinkWritesFailed.Inc()
 		return true
 	}

@@ -1,0 +1,792 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accturbo/internal/faults"
+)
+
+// This file is the socket backend behind the Transport seam: the same
+// ACCFLEET frames the in-process backends move whole, written to and
+// read from real TCP connections. The split is asymmetric, like the
+// deployment: ListenTCP builds the coordinator side (one listener, one
+// connection per node) and DialTCP builds a node side (one dialer with
+// seeded exponential-backoff reconnect). Both keep the transport
+// contract datagram-shaped — a send either reaches the far side's
+// handler eventually or is counted and dropped; the node's staleness
+// bound, not the socket, remains the fleet's failure detector — which
+// is exactly what lets every socket failure mode (reset, stall,
+// corruption, partition) degrade toward the existing
+// fleet-fallback:local path instead of inventing a new one.
+//
+// Failure semantics, per fault:
+//
+//   - connection reset / refused: the node transport reconnects with
+//     exponential backoff plus seeded jitter; until the link is back,
+//     publishes are counted drops and the node rides its local ranking.
+//   - corrupted bytes: every received frame is CRC-verified before
+//     dispatch (VerifyFrame); a failure resets the connection, and the
+//     reconnect performs a clean hello re-handshake. A corrupt frame
+//     never reaches a handler.
+//   - stalled peer: both directions heartbeat every HeartbeatEvery and
+//     read under a PeerTimeout deadline; a peer that goes silent is
+//     shed (coordinator side) or redialed (node side). A slow peer's
+//     bounded send queue overflows into counted drops — it never
+//     blocks the broadcast path.
+//   - close: graceful drain; concurrent senders observe ErrClosed, and
+//     Close returns only after every transport goroutine has exited.
+type tcpConfigError string
+
+func (e tcpConfigError) Error() string { return string(e) }
+
+// ErrNotNodeSide reports a node-direction call on the coordinator-side
+// transport (or vice versa): the TCP backend is split per role, unlike
+// the in-process backends that carry both directions in one object.
+var ErrNotNodeSide = errors.New("fleet: wrong-role call on a TCP transport half")
+
+// TCPOptions tunes both TCP transport halves. The zero value defaults
+// to production-shaped settings; tests shrink the timers.
+type TCPOptions struct {
+	// HeartbeatEvery is the liveness beacon period, sent by both sides
+	// whether or not traffic flows. Default 1s.
+	HeartbeatEvery time.Duration
+	// PeerTimeout is the read deadline: a connection with no frame (not
+	// even a heartbeat) for this long is considered dead — shed by the
+	// coordinator, redialed by the node. Default 4x HeartbeatEvery.
+	PeerTimeout time.Duration
+	// WriteTimeout bounds each frame write; exceeding it marks the peer
+	// dead. Default 2s.
+	WriteTimeout time.Duration
+	// SendQueueDepth bounds the per-peer send queue; overflow is a
+	// counted drop, never backpressure into the control loop.
+	// Default 64.
+	SendQueueDepth int
+	// DialTimeout bounds each connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// BackoffMin/BackoffMax bound the reconnect schedule: the delay
+	// doubles from BackoffMin per consecutive failure up to BackoffMax,
+	// then jitters uniformly in [d/2, d) from the seeded stream.
+	// Defaults 50ms / 5s.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// Seed drives the backoff jitter through a faults.Rand splitmix64
+	// stream (derived per node id), so reconnect schedules are
+	// deterministic in tests. Default 1.
+	Seed uint64
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = time.Second
+	}
+	if o.PeerTimeout <= 0 {
+		o.PeerTimeout = 4 * o.HeartbeatEvery
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.SendQueueDepth <= 0 {
+		o.SendQueueDepth = 64
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 50 * time.Millisecond
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// backoff is the reconnect schedule: exponential from min to max with
+// jitter in [d/2, d) drawn from a seeded splitmix64 stream, so a test
+// (or a postmortem) can replay the exact delays a node slept.
+type backoff struct {
+	min, max time.Duration
+	attempt  int
+	rng      *faults.Rand
+}
+
+func newBackoff(min, max time.Duration, rng *faults.Rand) *backoff {
+	return &backoff{min: min, max: max, rng: rng}
+}
+
+// next returns the delay before the attempt'th retry and advances the
+// schedule.
+func (b *backoff) next() time.Duration {
+	d := b.min
+	for i := 0; i < b.attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	b.attempt++
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(b.rng.Next()%uint64(half))
+}
+
+// reset re-arms the schedule after a successful handshake.
+func (b *backoff) reset() { b.attempt = 0 }
+
+// tcpPeer is one live connection: a bounded send queue drained by a
+// writer goroutine, and a stop channel + once so either the reader, the
+// writer, a replacement connection, or Close can tear it down exactly
+// once.
+type tcpPeer struct {
+	id       uint32
+	conn     net.Conn
+	sendq    chan []byte
+	stop     chan struct{}
+	once     sync.Once
+	lastSeen atomic.Int64 // wall ns of the last received frame
+}
+
+func (p *tcpPeer) shutdown() {
+	p.once.Do(func() {
+		close(p.stop)
+		p.conn.Close()
+	})
+}
+
+func (p *tcpPeer) touch() { p.lastSeen.Store(time.Now().UnixNano()) }
+
+// enqueue offers one frame to the peer's bounded queue; false means the
+// queue was full (the counted-drop path).
+func (p *tcpPeer) enqueue(frame []byte) bool {
+	select {
+	case p.sendq <- frame:
+		return true
+	default:
+		return false
+	}
+}
+
+func tuneConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // frames are small and latency-sensitive
+	}
+}
+
+// TCPCoordinatorStats is a point-in-time snapshot of the listener-side
+// transport counters.
+type TCPCoordinatorStats struct {
+	// Accepted counts completed hello handshakes; HandshakeFails counts
+	// connections dropped before one (bad first frame, timeout).
+	Accepted       uint64
+	HandshakeFails uint64
+	// FramesIn/FramesOut count dispatched snapshots and written frames
+	// (deploys and heartbeats).
+	FramesIn  uint64
+	FramesOut uint64
+	// DropsNoPeer counts ToNode sends to a node with no live
+	// connection; DropsQueueFull counts bounded-queue overflows.
+	DropsNoPeer    uint64
+	DropsQueueFull uint64
+	// CRCResets counts connections reset after a frame failed
+	// verification; PeersShed counts connections dropped for silence
+	// (read deadline) or write failure.
+	CRCResets uint64
+	PeersShed uint64
+	// HeartbeatsIn counts node heartbeats received.
+	HeartbeatsIn uint64
+	// Connected is the number of live node connections right now.
+	Connected int
+}
+
+// TCPCoordinatorTransport is the coordinator half of the socket
+// backend: a listener accepting one connection per node, each
+// identified by its MsgHello. It implements Transport; only the
+// coordinator-direction methods (HandleCoordinator, ToNode) are live —
+// ToCoordinator returns ErrNotNodeSide and HandleNode is a no-op,
+// because nodes hold their own TCPTransport on the far side of the
+// sockets.
+type TCPCoordinatorTransport struct {
+	opts TCPOptions
+	ln   net.Listener
+
+	mu     sync.Mutex
+	coord  func(from uint32, frame []byte)
+	peers  map[uint32]*tcpPeer
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted       atomic.Uint64
+	handshakeFails atomic.Uint64
+	framesIn       atomic.Uint64
+	framesOut      atomic.Uint64
+	dropsNoPeer    atomic.Uint64
+	dropsFull      atomic.Uint64
+	crcResets      atomic.Uint64
+	peersShed      atomic.Uint64
+	heartbeatsIn   atomic.Uint64
+}
+
+// ListenTCP starts the coordinator-side transport on addr (":0" picks a
+// free port; read it back with Addr). Register the coordinator before
+// nodes dial in, or early snapshots are dropped on the floor — which
+// the protocol tolerates, but the first merge then waits a poll.
+func ListenTCP(addr string, opts TCPOptions) (*TCPCoordinatorTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: coordinator listen: %w", err)
+	}
+	t := &TCPCoordinatorTransport{
+		opts:  opts.withDefaults(),
+		ln:    ln,
+		peers: make(map[uint32]*tcpPeer),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener's bound address.
+func (t *TCPCoordinatorTransport) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPCoordinatorTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.handshake(conn)
+	}
+}
+
+// handshake reads the connection's MsgHello under a deadline and
+// registers the peer. A second connection for the same node id replaces
+// the first (the node redialed; the stale socket may not know it is
+// dead yet), which is the clean re-handshake path after a CRC reset.
+func (t *TCPCoordinatorTransport) handshake(conn net.Conn) {
+	defer t.wg.Done()
+	tuneConn(conn)
+	conn.SetReadDeadline(time.Now().Add(t.opts.PeerTimeout))
+	raw, err := ReadFrame(conn)
+	if err != nil {
+		t.handshakeFails.Add(1)
+		conn.Close()
+		return
+	}
+	node, err := DecodeHello(raw)
+	if err != nil || node == 0 {
+		t.handshakeFails.Add(1)
+		conn.Close()
+		return
+	}
+	p := &tcpPeer{
+		id:    node,
+		conn:  conn,
+		sendq: make(chan []byte, t.opts.SendQueueDepth),
+		stop:  make(chan struct{}),
+	}
+	p.touch()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old := t.peers[node]; old != nil {
+		old.shutdown()
+	}
+	t.peers[node] = p
+	t.mu.Unlock()
+	t.accepted.Add(1)
+	t.wg.Add(2)
+	go t.readLoop(p)
+	go t.writeLoop(p)
+}
+
+// dropPeer tears the connection down and unregisters it, unless a
+// replacement already took the slot.
+func (t *TCPCoordinatorTransport) dropPeer(p *tcpPeer) {
+	p.shutdown()
+	t.mu.Lock()
+	if t.peers[p.id] == p {
+		delete(t.peers, p.id)
+	}
+	t.mu.Unlock()
+}
+
+func (t *TCPCoordinatorTransport) readLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	defer t.dropPeer(p)
+	for {
+		p.conn.SetReadDeadline(time.Now().Add(t.opts.PeerTimeout))
+		raw, err := ReadFrame(p.conn)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				t.peersShed.Add(1) // silent peer: liveness expired
+			}
+			return
+		}
+		msgType, err := VerifyFrame(raw)
+		if err != nil {
+			// Corruption on the wire: reset the connection rather than
+			// trying to resynchronize a byte stream we no longer trust.
+			// The node's reconnect performs a clean re-handshake.
+			t.crcResets.Add(1)
+			return
+		}
+		p.touch()
+		switch msgType {
+		case MsgSnapshot:
+			t.framesIn.Add(1)
+			t.mu.Lock()
+			h := t.coord
+			t.mu.Unlock()
+			if h != nil {
+				h(p.id, raw)
+			}
+		case MsgHeartbeat:
+			t.heartbeatsIn.Add(1)
+		default:
+			// A node has no business sending deploys or hellos mid-stream:
+			// protocol violation, same remedy as corruption.
+			t.crcResets.Add(1)
+			return
+		}
+	}
+}
+
+func (t *TCPCoordinatorTransport) writeLoop(p *tcpPeer) {
+	defer t.wg.Done()
+	hb := time.NewTicker(t.opts.HeartbeatEvery)
+	defer hb.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case frame := <-p.sendq:
+			if !t.writeFrame(p, frame) {
+				return
+			}
+		case <-hb.C:
+			if !t.writeFrame(p, EncodeHeartbeat(0)) {
+				return
+			}
+		}
+	}
+}
+
+// writeFrame writes one frame under the write deadline; false sheds the
+// peer (a stalled reader on the far side must not wedge the writer).
+func (t *TCPCoordinatorTransport) writeFrame(p *tcpPeer, frame []byte) bool {
+	p.conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	if err := WriteFrame(p.conn, frame); err != nil {
+		t.peersShed.Add(1)
+		t.dropPeer(p)
+		return false
+	}
+	t.framesOut.Add(1)
+	return true
+}
+
+// HandleCoordinator implements Transport.
+func (t *TCPCoordinatorTransport) HandleCoordinator(fn func(from uint32, frame []byte)) {
+	t.mu.Lock()
+	t.coord = fn
+	t.mu.Unlock()
+}
+
+// HandleNode implements Transport; it is a no-op on the coordinator
+// half (nodes register on their own TCPTransport).
+func (t *TCPCoordinatorTransport) HandleNode(uint32, func(frame []byte)) {}
+
+// ToCoordinator implements Transport; always ErrNotNodeSide here.
+func (t *TCPCoordinatorTransport) ToCoordinator(uint32, []byte) error { return ErrNotNodeSide }
+
+// ToNode implements Transport: enqueue onto node `to`'s bounded send
+// queue. No live connection or a full queue is a counted drop, not an
+// error — the staleness bound on the node is the delivery contract.
+func (t *TCPCoordinatorTransport) ToNode(to uint32, frame []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	p := t.peers[to]
+	t.mu.Unlock()
+	if p == nil {
+		t.dropsNoPeer.Add(1)
+		return nil
+	}
+	if !p.enqueue(frame) {
+		t.dropsFull.Add(1)
+	}
+	return nil
+}
+
+// LastSeen reports, per connected node, how long ago its last frame
+// (snapshot or heartbeat) arrived — the per-node liveness view /health
+// serves.
+func (t *TCPCoordinatorTransport) LastSeen() map[uint32]time.Duration {
+	now := time.Now().UnixNano()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[uint32]time.Duration, len(t.peers))
+	for id, p := range t.peers {
+		out[id] = time.Duration(now - p.lastSeen.Load())
+	}
+	return out
+}
+
+// Stats snapshots the transport counters, from any goroutine.
+func (t *TCPCoordinatorTransport) Stats() TCPCoordinatorStats {
+	t.mu.Lock()
+	connected := len(t.peers)
+	t.mu.Unlock()
+	return TCPCoordinatorStats{
+		Accepted:       t.accepted.Load(),
+		HandshakeFails: t.handshakeFails.Load(),
+		FramesIn:       t.framesIn.Load(),
+		FramesOut:      t.framesOut.Load(),
+		DropsNoPeer:    t.dropsNoPeer.Load(),
+		DropsQueueFull: t.dropsFull.Load(),
+		CRCResets:      t.crcResets.Load(),
+		PeersShed:      t.peersShed.Load(),
+		HeartbeatsIn:   t.heartbeatsIn.Load(),
+		Connected:      connected,
+	}
+}
+
+// Close stops accepting, tears down every node connection, and waits
+// for all transport goroutines to exit. Idempotent; concurrent ToNode
+// callers observe ErrClosed.
+func (t *TCPCoordinatorTransport) Close() {
+	t.mu.Lock()
+	already := t.closed
+	t.closed = true
+	peers := make([]*tcpPeer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	if !already {
+		t.ln.Close()
+		for _, p := range peers {
+			p.shutdown()
+		}
+	}
+	t.wg.Wait()
+}
+
+// TCPNodeStats is a point-in-time snapshot of the dialer-side transport
+// counters.
+type TCPNodeStats struct {
+	// Dials counts connection attempts; Connects counts completed
+	// handshakes (so Connects > 1 means the link was re-established).
+	Dials    uint64
+	Connects uint64
+	// FramesIn counts deploys dispatched to the handler; FramesOut
+	// counts frames written (snapshots, hello, heartbeats).
+	FramesIn  uint64
+	FramesOut uint64
+	// DropsDisconnected counts publishes while the link was down;
+	// DropsQueueFull counts bounded-queue overflows.
+	DropsDisconnected uint64
+	DropsQueueFull    uint64
+	// CRCResets counts connections this side reset after a frame failed
+	// verification.
+	CRCResets uint64
+	// HeartbeatsIn counts coordinator heartbeats received.
+	HeartbeatsIn uint64
+	// Connected reports whether a handshaken connection is live now.
+	Connected bool
+}
+
+// TCPTransport is the node half of the socket backend: one dialer that
+// keeps a single connection to the coordinator alive, reconnecting with
+// seeded exponential backoff whenever it drops. It implements
+// Transport; only the node-direction methods (HandleNode,
+// ToCoordinator) are live — ToNode returns ErrNotNodeSide and
+// HandleCoordinator is a no-op.
+//
+// DialTCP returns before the first connection is up: the fleet node
+// rides its local-ranking fallback until the link (and the first fleet
+// deploy) lands, the same degraded-start the in-process fleet has when
+// it boots partitioned.
+type TCPTransport struct {
+	id   uint32
+	addr string
+	opts TCPOptions
+
+	dialCtx    context.Context
+	cancelDial context.CancelFunc
+
+	mu      sync.Mutex
+	handler func(frame []byte)
+	cur     *tcpPeer
+	closed  bool
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	connected atomic.Bool
+
+	dials             atomic.Uint64
+	connects          atomic.Uint64
+	framesIn          atomic.Uint64
+	framesOut         atomic.Uint64
+	dropsDisconnected atomic.Uint64
+	dropsFull         atomic.Uint64
+	crcResets         atomic.Uint64
+	heartbeatsIn      atomic.Uint64
+}
+
+// DialTCP starts the node-side transport for node id against the
+// coordinator at addr. id 0 is reserved for the coordinator.
+func DialTCP(addr string, id uint32, opts TCPOptions) (*TCPTransport, error) {
+	if id == 0 {
+		return nil, fmt.Errorf("fleet: node id 0 is reserved for the coordinator")
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("fleet: DialTCP needs a coordinator address")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &TCPTransport{
+		id:         id,
+		addr:       addr,
+		opts:       opts.withDefaults(),
+		dialCtx:    ctx,
+		cancelDial: cancel,
+		stop:       make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.connectLoop()
+	return t, nil
+}
+
+// connectLoop is the reconnect state machine: dial → hello → serve the
+// connection until it dies → back off (seeded exponential + jitter) →
+// redial. Close cancels the in-flight dial and the backoff sleep.
+func (t *TCPTransport) connectLoop() {
+	defer t.wg.Done()
+	bo := newBackoff(t.opts.BackoffMin, t.opts.BackoffMax,
+		faults.NewRand(faults.DeriveSeed(t.opts.Seed, uint64(t.id))))
+	for {
+		select {
+		case <-t.stop:
+			return
+		default:
+		}
+		t.dials.Add(1)
+		d := net.Dialer{Timeout: t.opts.DialTimeout}
+		conn, err := d.DialContext(t.dialCtx, "tcp", t.addr)
+		if err == nil {
+			if t.runConn(conn) {
+				bo.reset()
+			}
+		}
+		select {
+		case <-t.stop:
+			return
+		case <-time.After(bo.next()):
+		}
+	}
+}
+
+// runConn performs the hello handshake and serves one connection; it
+// returns true when the handshake completed (resetting the backoff),
+// regardless of how the connection later died.
+func (t *TCPTransport) runConn(conn net.Conn) bool {
+	tuneConn(conn)
+	conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	if err := WriteFrame(conn, EncodeHello(t.id)); err != nil {
+		conn.Close()
+		return false
+	}
+	p := &tcpPeer{
+		id:    t.id,
+		conn:  conn,
+		sendq: make(chan []byte, t.opts.SendQueueDepth),
+		stop:  make(chan struct{}),
+	}
+	p.touch()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	t.cur = p
+	t.mu.Unlock()
+	t.connects.Add(1)
+	t.connected.Store(true)
+
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.writeLoop(p)
+	}()
+	t.readLoop(p)
+
+	p.shutdown()
+	t.connected.Store(false)
+	t.mu.Lock()
+	if t.cur == p {
+		t.cur = nil
+	}
+	t.mu.Unlock()
+	return true
+}
+
+func (t *TCPTransport) readLoop(p *tcpPeer) {
+	for {
+		p.conn.SetReadDeadline(time.Now().Add(t.opts.PeerTimeout))
+		raw, err := ReadFrame(p.conn)
+		if err != nil {
+			return // timeout, reset, or close: redial decides what next
+		}
+		msgType, err := VerifyFrame(raw)
+		if err != nil {
+			t.crcResets.Add(1)
+			return // reset; the reconnect re-handshakes cleanly
+		}
+		p.touch()
+		switch msgType {
+		case MsgDeploy:
+			t.framesIn.Add(1)
+			t.mu.Lock()
+			h := t.handler
+			t.mu.Unlock()
+			if h != nil {
+				h(raw)
+			}
+		case MsgHeartbeat:
+			t.heartbeatsIn.Add(1)
+		default:
+			t.crcResets.Add(1)
+			return
+		}
+	}
+}
+
+func (t *TCPTransport) writeLoop(p *tcpPeer) {
+	hb := time.NewTicker(t.opts.HeartbeatEvery)
+	defer hb.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case frame := <-p.sendq:
+			if !t.writeFrame(p, frame) {
+				return
+			}
+		case <-hb.C:
+			if !t.writeFrame(p, EncodeHeartbeat(t.id)) {
+				return
+			}
+		}
+	}
+}
+
+func (t *TCPTransport) writeFrame(p *tcpPeer, frame []byte) bool {
+	p.conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	if err := WriteFrame(p.conn, frame); err != nil {
+		p.shutdown() // wake the reader so the redial starts
+		return false
+	}
+	t.framesOut.Add(1)
+	return true
+}
+
+// HandleNode implements Transport; handlers for other ids are ignored
+// (this transport speaks for exactly one node).
+func (t *TCPTransport) HandleNode(id uint32, fn func(frame []byte)) {
+	if id != t.id {
+		return
+	}
+	t.mu.Lock()
+	t.handler = fn
+	t.mu.Unlock()
+}
+
+// HandleCoordinator implements Transport; a no-op on the node half.
+func (t *TCPTransport) HandleCoordinator(func(from uint32, frame []byte)) {}
+
+// ToNode implements Transport; always ErrNotNodeSide here.
+func (t *TCPTransport) ToNode(uint32, []byte) error { return ErrNotNodeSide }
+
+// ToCoordinator implements Transport: enqueue onto the live
+// connection's bounded send queue. While disconnected the frame is a
+// counted drop (the coordinator only ever wants the newest snapshot,
+// so buffering across a reconnect would ship stale state); after Close
+// it is ErrClosed.
+func (t *TCPTransport) ToCoordinator(from uint32, frame []byte) error {
+	t.mu.Lock()
+	closed, p := t.closed, t.cur
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if p == nil {
+		t.dropsDisconnected.Add(1)
+		return nil
+	}
+	if !p.enqueue(frame) {
+		t.dropsFull.Add(1)
+	}
+	return nil
+}
+
+// Connected reports whether a handshaken connection is live.
+func (t *TCPTransport) Connected() bool { return t.connected.Load() }
+
+// Stats snapshots the transport counters, from any goroutine.
+func (t *TCPTransport) Stats() TCPNodeStats {
+	return TCPNodeStats{
+		Dials:             t.dials.Load(),
+		Connects:          t.connects.Load(),
+		FramesIn:          t.framesIn.Load(),
+		FramesOut:         t.framesOut.Load(),
+		DropsDisconnected: t.dropsDisconnected.Load(),
+		DropsQueueFull:    t.dropsFull.Load(),
+		CRCResets:         t.crcResets.Load(),
+		HeartbeatsIn:      t.heartbeatsIn.Load(),
+		Connected:         t.connected.Load(),
+	}
+}
+
+// Close stops the dialer — cancelling an in-flight dial or backoff
+// sleep — tears down the live connection, and waits for every
+// transport goroutine to exit. Idempotent; concurrent publishers
+// observe ErrClosed.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	already := t.closed
+	t.closed = true
+	p := t.cur
+	t.mu.Unlock()
+	if !already {
+		close(t.stop)
+		t.cancelDial()
+		if p != nil {
+			p.shutdown()
+		}
+	}
+	t.wg.Wait()
+}
+
+// Interface conformance.
+var (
+	_ Transport = (*TCPCoordinatorTransport)(nil)
+	_ Transport = (*TCPTransport)(nil)
+)

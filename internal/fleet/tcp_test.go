@@ -1,0 +1,599 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"accturbo/internal/faults"
+)
+
+// testTCPOpts shrinks every transport timer so liveness transitions
+// land in milliseconds instead of seconds.
+func testTCPOpts() TCPOptions {
+	return TCPOptions{
+		HeartbeatEvery: 20 * time.Millisecond,
+		PeerTimeout:    120 * time.Millisecond,
+		WriteTimeout:   500 * time.Millisecond,
+		DialTimeout:    500 * time.Millisecond,
+		BackoffMin:     5 * time.Millisecond,
+		BackoffMax:     50 * time.Millisecond,
+		SendQueueDepth: 64,
+		Seed:           7,
+	}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: not reached within 10s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// checkGoroutines waits for the goroutine count to return to base —
+// the transport's no-leak contract after Close.
+func checkGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d alive, base %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// rawHello opens a bare TCP connection to a coordinator transport and
+// performs the hello handshake for node id — a node impersonator for
+// protocol-violation tests.
+func rawHello(t *testing.T, addr string, id uint32) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	if err := WriteFrame(conn, EncodeHello(id)); err != nil {
+		t.Fatalf("raw hello: %v", err)
+	}
+	return conn
+}
+
+// TestReadFrameRejectsOversizedLength: a hostile length prefix is
+// refused from the 15 header bytes alone — ReadFrame returns the limit
+// error rather than trying to buffer (or block on) gigabytes that will
+// never arrive. The reader carries only the header, so any attempt to
+// read the claimed payload would surface as an EOF error instead of
+// the limit error.
+func TestReadFrameRejectsOversizedLength(t *testing.T) {
+	head := make([]byte, 0, frameOverhead-4)
+	head = append(head, wireMagic...)
+	head = binary.LittleEndian.AppendUint16(head, wireVersion)
+	head = append(head, MsgSnapshot)
+	head = binary.LittleEndian.AppendUint32(head, uint32(maxFramePayload+1))
+	_, err := ReadFrame(bytes.NewReader(head))
+	if err == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized length prefix rejected with %q, want the payload-limit error", err)
+	}
+
+	// The limit itself is allowed: the header passes and the reader
+	// fails later only because the payload bytes are absent.
+	atLimit := make([]byte, 0, frameOverhead-4)
+	atLimit = append(atLimit, wireMagic...)
+	atLimit = binary.LittleEndian.AppendUint16(atLimit, wireVersion)
+	atLimit = append(atLimit, MsgSnapshot)
+	atLimit = binary.LittleEndian.AppendUint32(atLimit, uint32(maxFramePayload))
+	if _, err := ReadFrame(bytes.NewReader(atLimit)); err == nil || strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("at-limit header: got %v, want an EOF-class error", err)
+	}
+}
+
+// TestReadFrameRejectsForeignStream: bad magic and foreign versions are
+// refused before any payload is read.
+func TestReadFrameRejectsForeignStream(t *testing.T) {
+	valid := EncodeHello(1)
+	badMagic := append([]byte{}, valid...)
+	badMagic[0] ^= 0xff
+	if _, err := ReadFrame(bytes.NewReader(badMagic)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	badVersion := append([]byte{}, valid...)
+	badVersion[len(wireMagic)] = 0xee
+	if _, err := ReadFrame(bytes.NewReader(badVersion)); err == nil {
+		t.Fatal("foreign version accepted")
+	}
+}
+
+// TestBackoffSeededDeterministic: the reconnect schedule is a pure
+// function of its seed — equal seeds replay identical delays, distinct
+// seeds diverge, and every delay respects the configured bounds.
+func TestBackoffSeededDeterministic(t *testing.T) {
+	const min, max = 10 * time.Millisecond, 500 * time.Millisecond
+	mk := func(seed uint64) *backoff {
+		return newBackoff(min, max, faults.NewRand(faults.DeriveSeed(seed, 3)))
+	}
+	a, b := mk(42), mk(42)
+	var seqA, seqB []time.Duration
+	for i := 0; i < 20; i++ {
+		da, db := a.next(), b.next()
+		seqA, seqB = append(seqA, da), append(seqB, db)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v != %v", i, da, db)
+		}
+		if da < min/2 || da >= max {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", i, da, min/2, max)
+		}
+	}
+	// The schedule escalates: late delays jitter near the cap, so the
+	// max over the tail must exceed the first (half-of-min-bounded) one.
+	if seqA[19] < seqA[0] && seqA[18] < seqA[0] && seqA[17] < seqA[0] {
+		t.Fatalf("backoff never escalated: first %v, tail %v", seqA[0], seqA[17:])
+	}
+	c := mk(43)
+	diverged := false
+	for i := 0; i < 20; i++ {
+		if c.next() != seqA[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// reset re-arms the escalation.
+	a.reset()
+	if d := a.next(); d >= max {
+		t.Fatalf("post-reset delay %v did not drop below the cap", d)
+	}
+}
+
+// TestTCPRoundTrip: hello handshake, snapshots up, deploys down, and
+// per-node last-seen ages on the coordinator — the basic contract of
+// the socket backend, over real loopback TCP.
+func TestTCPRoundTrip(t *testing.T) {
+	base := runtime.NumGoroutine()
+	opts := testTCPOpts()
+	co, err := ListenTCP("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var snaps []*Snapshot
+	var froms []uint32
+	co.HandleCoordinator(func(from uint32, frame []byte) {
+		s, err := DecodeSnapshot(frame)
+		if err != nil {
+			t.Errorf("coordinator received undecodable snapshot: %v", err)
+			return
+		}
+		mu.Lock()
+		froms = append(froms, from)
+		snaps = append(snaps, s)
+		mu.Unlock()
+	})
+
+	nt, err := DialTCP(co.Addr(), 7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deployMu sync.Mutex
+	var deploys []*Deploy
+	nt.HandleNode(7, func(frame []byte) {
+		d, err := DecodeDeploy(frame)
+		if err != nil {
+			t.Errorf("node received undecodable deploy: %v", err)
+			return
+		}
+		deployMu.Lock()
+		deploys = append(deploys, d)
+		deployMu.Unlock()
+	})
+
+	waitUntil(t, "node connected", nt.Connected)
+	if err := nt.ToCoordinator(7, EncodeSnapshot(&Snapshot{Node: 7, Seq: 1, Infos: slotInfos(100, 200)})); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	waitUntil(t, "snapshot arrival", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(snaps) > 0
+	})
+	mu.Lock()
+	if froms[0] != 7 || snaps[0].Node != 7 || snaps[0].Seq != 1 {
+		t.Fatalf("snapshot arrived as from=%d node=%d seq=%d, want 7/7/1", froms[0], snaps[0].Node, snaps[0].Seq)
+	}
+	mu.Unlock()
+
+	if err := co.ToNode(7, EncodeDeploy(&Deploy{Epoch: 1, QueueOf: []int{0, 1}, Rank: []float64{2, 1}})); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	waitUntil(t, "deploy arrival", func() bool {
+		deployMu.Lock()
+		defer deployMu.Unlock()
+		return len(deploys) > 0
+	})
+	deployMu.Lock()
+	if deploys[0].Epoch != 1 || len(deploys[0].QueueOf) != 2 {
+		t.Fatalf("deploy arrived as %+v", deploys[0])
+	}
+	deployMu.Unlock()
+
+	// Sends to an absent node are counted drops, not errors.
+	if err := co.ToNode(42, EncodeDeploy(&Deploy{Epoch: 2})); err != nil {
+		t.Fatalf("ToNode(absent) = %v, want nil", err)
+	}
+	if st := co.Stats(); st.DropsNoPeer == 0 {
+		t.Fatalf("no counted drop for an absent node: %+v", st)
+	}
+
+	ages := co.LastSeen()
+	if age, ok := ages[7]; !ok || age > opts.PeerTimeout {
+		t.Fatalf("LastSeen = %v, want a fresh entry for node 7", ages)
+	}
+
+	nt.Close()
+	co.Close()
+	checkGoroutines(t, base)
+}
+
+// TestTCPHeartbeatsKeepIdleLinkAlive: with no traffic at all, the
+// heartbeat exchange keeps both sides within the liveness bound for
+// many PeerTimeouts — an idle fleet is not a dead fleet.
+func TestTCPHeartbeatsKeepIdleLinkAlive(t *testing.T) {
+	opts := testTCPOpts()
+	co, err := ListenTCP("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	nt, err := DialTCP(co.Addr(), 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+	waitUntil(t, "node connected", nt.Connected)
+
+	time.Sleep(4 * opts.PeerTimeout)
+	if !nt.Connected() {
+		t.Fatal("idle node disconnected despite heartbeats")
+	}
+	if age, ok := co.LastSeen()[2]; !ok || age > opts.PeerTimeout {
+		t.Fatalf("idle peer went stale on the coordinator: %v", co.LastSeen())
+	}
+	if st := nt.Stats(); st.HeartbeatsIn == 0 {
+		t.Fatalf("node saw no coordinator heartbeats: %+v", st)
+	}
+	if st := co.Stats(); st.HeartbeatsIn == 0 {
+		t.Fatalf("coordinator saw no node heartbeats: %+v", st)
+	}
+}
+
+// TestTCPSilentPeerShed: a peer that handshakes and then goes silent
+// (no heartbeats — a wedged process, not a closed socket) is shed when
+// the read deadline expires, and disappears from the liveness view.
+func TestTCPSilentPeerShed(t *testing.T) {
+	opts := testTCPOpts()
+	co, err := ListenTCP("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	conn := rawHello(t, co.Addr(), 9)
+	defer conn.Close()
+	waitUntil(t, "handshake", func() bool { return co.Stats().Accepted == 1 })
+	waitUntil(t, "silent peer shed", func() bool { return co.Stats().PeersShed >= 1 })
+	waitUntil(t, "liveness view cleared", func() bool { return len(co.LastSeen()) == 0 })
+}
+
+// TestTCPCRCResetAndRehandshake: a frame that fails verification resets
+// the connection — it never reaches the coordinator handler — and the
+// same node can come straight back with a clean hello.
+func TestTCPCRCResetAndRehandshake(t *testing.T) {
+	opts := testTCPOpts()
+	co, err := ListenTCP("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	var delivered sync.Map
+	co.HandleCoordinator(func(from uint32, frame []byte) {
+		if s, err := DecodeSnapshot(frame); err == nil {
+			delivered.Store(s.Seq, true)
+		}
+	})
+
+	conn := rawHello(t, co.Addr(), 9)
+	defer conn.Close()
+	corrupt := EncodeSnapshot(&Snapshot{Node: 9, Seq: 1, Infos: slotInfos(10, 20)})
+	corrupt[len(corrupt)-6] ^= 0x40 // payload byte: framing intact, CRC broken
+	if err := WriteFrame(conn, corrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "CRC reset", func() bool { return co.Stats().CRCResets >= 1 })
+	if _, ok := delivered.Load(uint64(1)); ok {
+		t.Fatal("corrupt frame reached the coordinator handler")
+	}
+	// The connection is dead: the next read observes it.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
+	}
+
+	// Clean re-handshake: a fresh connection for the same id works.
+	conn2 := rawHello(t, co.Addr(), 9)
+	defer conn2.Close()
+	if err := WriteFrame(conn2, EncodeSnapshot(&Snapshot{Node: 9, Seq: 2, Infos: slotInfos(30, 40)})); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "post-reset snapshot delivery", func() bool {
+		_, ok := delivered.Load(uint64(2))
+		return ok
+	})
+}
+
+// TestTCPReconnectAfterCoordinatorRestart: killing the coordinator
+// flips the node to counted-drop publishing (never an error), and a
+// coordinator reborn on the same address gets a fresh handshake and
+// the frames flow again — the recovery half of the fallback arc.
+func TestTCPReconnectAfterCoordinatorRestart(t *testing.T) {
+	opts := testTCPOpts()
+	co, err := ListenTCP("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := co.Addr()
+	nt, err := DialTCP(addr, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+	waitUntil(t, "initial connect", nt.Connected)
+
+	co.Close()
+	waitUntil(t, "node noticed the outage", func() bool { return !nt.Connected() })
+	if err := nt.ToCoordinator(3, EncodeSnapshot(&Snapshot{Node: 3, Seq: 1})); err != nil {
+		t.Fatalf("publish while down = %v, want nil (counted drop)", err)
+	}
+	if st := nt.Stats(); st.DropsDisconnected == 0 {
+		t.Fatalf("publish while down was not counted: %+v", st)
+	}
+
+	co2, err := ListenTCP(addr, opts)
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	defer co2.Close()
+	var got sync.Map
+	co2.HandleCoordinator(func(from uint32, frame []byte) {
+		if s, err := DecodeSnapshot(frame); err == nil {
+			got.Store(s.Seq, from)
+		}
+	})
+	waitUntil(t, "reconnect", func() bool { return nt.Connected() && nt.Stats().Connects >= 2 })
+	if err := nt.ToCoordinator(3, EncodeSnapshot(&Snapshot{Node: 3, Seq: 2, Infos: slotInfos(5, 6)})); err != nil {
+		t.Fatalf("publish after recovery: %v", err)
+	}
+	waitUntil(t, "post-recovery delivery", func() bool {
+		_, ok := got.Load(uint64(2))
+		return ok
+	})
+}
+
+// TestTCPCloseWhileReconnecting: Close during the dial/backoff cycle —
+// nobody listening on the target — returns promptly and leaks nothing.
+func TestTCPCloseWhileReconnecting(t *testing.T) {
+	base := runtime.NumGoroutine()
+	// A port with no listener: bind, read the address, release.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	for iter := 0; iter < 8; iter++ {
+		nt, err := DialTCP(addr, 5, testTCPOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Duration(iter) * 3 * time.Millisecond) // land in dial, backoff, and boundary states
+		start := time.Now()
+		nt.Close()
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("Close during reconnect took %v", d)
+		}
+		nt.Close() // idempotent
+		if err := nt.ToCoordinator(5, EncodeHeartbeat(5)); err != ErrClosed {
+			t.Fatalf("publish after Close = %v, want ErrClosed", err)
+		}
+	}
+	checkGoroutines(t, base)
+}
+
+// TestTCPCloseWhilePublishing is the dial/close race gate for the
+// socket backend, mirroring TestChanTransportCloseWhilePublish:
+// publishers hammer ToCoordinator while Close tears the transport
+// down; every interleaving must end in nil (sent or counted drop) or
+// ErrClosed — no panic, no deadlock, no leak, which -race verifies.
+func TestTCPCloseWhilePublishing(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for iter := 0; iter < 8; iter++ {
+		opts := testTCPOpts()
+		co, err := ListenTCP("127.0.0.1:0", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nt, err := DialTCP(co.Addr(), 4, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iter%2 == 0 {
+			waitUntil(t, "connect", nt.Connected) // also race the connected path
+		}
+		frame := EncodeSnapshot(&Snapshot{Node: 4, Seq: 1, Infos: slotInfos(1, 2)})
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					if err := nt.ToCoordinator(4, frame); err != nil && err != ErrClosed {
+						t.Errorf("publish: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Duration(iter) * 200 * time.Microsecond)
+		nt.Close()
+		wg.Wait()
+		co.Close()
+	}
+	checkGoroutines(t, base)
+}
+
+// TestChaosPlanDeterministic: the schedule render is a pure function of
+// the spec — CI's determinism gate in miniature.
+func TestChaosPlanDeterministic(t *testing.T) {
+	spec := ChaosSpec{Seed: 11, CorruptEvery: 4096, ResetEvery: 16384, DelayEvery: 8192, DelayFor: 5 * time.Millisecond}
+	a, b := spec.Plan(3, 1<<16), spec.Plan(3, 1<<16)
+	if a != b {
+		t.Fatal("identical specs rendered different plans")
+	}
+	if strings.Count(a, "\n") < 10 {
+		t.Fatalf("plan suspiciously empty:\n%s", a)
+	}
+	for _, want := range []string{"corrupt mask=", "reset", "delay"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("plan missing %q events:\n%s", want, a)
+		}
+	}
+	other := spec
+	other.Seed = 12
+	if other.Plan(3, 1<<16) == a {
+		t.Fatal("different seeds rendered identical plans")
+	}
+}
+
+// TestChaosProxyRelaysAndPartitions: a fault-free proxy is transparent
+// to the transport; a partition resets and refuses connections until
+// healed, after which the node re-handshakes through the proxy.
+func TestChaosProxyRelaysAndPartitions(t *testing.T) {
+	opts := testTCPOpts()
+	co, err := ListenTCP("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	px, err := NewChaosProxy("127.0.0.1:0", co.Addr(), ChaosSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	var got sync.Map
+	co.HandleCoordinator(func(from uint32, frame []byte) {
+		if s, err := DecodeSnapshot(frame); err == nil {
+			got.Store(s.Seq, from)
+		}
+	})
+
+	nt, err := DialTCP(px.Addr(), 6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+	waitUntil(t, "connect through proxy", nt.Connected)
+	if err := nt.ToCoordinator(6, EncodeSnapshot(&Snapshot{Node: 6, Seq: 1, Infos: slotInfos(9, 9)})); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "relayed delivery", func() bool {
+		_, ok := got.Load(uint64(1))
+		return ok
+	})
+
+	px.SetPartition(true)
+	waitUntil(t, "partition noticed", func() bool { return !nt.Connected() })
+	waitUntil(t, "refused while partitioned", func() bool { return px.Stats().PartitionRefused >= 1 })
+
+	px.SetPartition(false)
+	waitUntil(t, "reconnect after heal", func() bool { return nt.Connected() && nt.Stats().Connects >= 2 })
+	if err := nt.ToCoordinator(6, EncodeSnapshot(&Snapshot{Node: 6, Seq: 2, Infos: slotInfos(8, 8)})); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "post-heal delivery", func() bool {
+		_, ok := got.Load(uint64(2))
+		return ok
+	})
+	if st := px.Stats(); st.Connections < 2 || st.BytesForwarded == 0 {
+		t.Fatalf("proxy stats %+v, want >= 2 connections and forwarded bytes", st)
+	}
+}
+
+// TestChaosProxyCorruptionTriggersCRCResets: with byte corruption on
+// the wire, the coordinator's verification catches it, the connection
+// resets, the node re-handshakes, and traffic keeps flowing — no
+// corrupt frame is ever dispatched.
+func TestChaosProxyCorruptionTriggersCRCResets(t *testing.T) {
+	opts := testTCPOpts()
+	co, err := ListenTCP("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	px, err := NewChaosProxy("127.0.0.1:0", co.Addr(), ChaosSpec{Seed: 3, CorruptEvery: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	var delivered sync.Map
+	co.HandleCoordinator(func(from uint32, frame []byte) {
+		s, err := DecodeSnapshot(frame)
+		if err != nil {
+			t.Errorf("corrupt frame dispatched to the coordinator: %v", err)
+			return
+		}
+		delivered.Store(s.Seq, true)
+	})
+
+	nt, err := DialTCP(px.Addr(), 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nt.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var seq uint64
+	for {
+		seq++
+		nt.ToCoordinator(8, EncodeSnapshot(&Snapshot{Node: 8, Seq: seq, Infos: slotInfos(seq, seq)}))
+		resets := co.Stats().CRCResets + nt.Stats().CRCResets
+		var count int
+		delivered.Range(func(any, any) bool { count++; return true })
+		if resets >= 1 && count >= 5 && nt.Stats().Connects >= 2 {
+			break // corrupted, reset, re-handshaken, and still delivering
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no CRC reset + recovery within 10s: co=%+v nt=%+v delivered=%d", co.Stats(), nt.Stats(), count)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if px.Stats().BytesCorrupted == 0 {
+		t.Fatalf("proxy reports no corruption: %+v", px.Stats())
+	}
+}

@@ -65,6 +65,14 @@ const (
 	MsgSnapshot uint8 = 1
 	// MsgDeploy is a coordinator→node global ranking deployment.
 	MsgDeploy uint8 = 2
+	// MsgHello is the first frame on a node→coordinator TCP connection:
+	// it names the node id the connection speaks for (the handshake the
+	// in-process transports get implicitly from their registration maps).
+	MsgHello uint8 = 3
+	// MsgHeartbeat is the idle-link liveness frame, sent in both
+	// directions by the TCP transport; it carries the sender's node id
+	// (0 for the coordinator) and feeds the receiver's last-seen clock.
+	MsgHeartbeat uint8 = 4
 )
 
 // Snapshot is one node's per-window cluster view, as published to the
@@ -306,6 +314,67 @@ func DecodeDeploy(data []byte) (*Deploy, error) {
 	return dp, nil
 }
 
+// EncodeHello frames a connection handshake for node id.
+func EncodeHello(node uint32) []byte {
+	var e enc
+	e.u32(node)
+	return frame(MsgHello, e.b)
+}
+
+// DecodeHello unframes and decodes a MsgHello frame.
+func DecodeHello(data []byte) (uint32, error) {
+	msgType, payload, err := unframe(data)
+	if err != nil {
+		return 0, err
+	}
+	if msgType != MsgHello {
+		return 0, fmt.Errorf("fleet: message type %d, want hello (%d)", msgType, MsgHello)
+	}
+	d := dec{b: payload}
+	node := d.u32()
+	if d.err != nil {
+		return 0, d.err
+	}
+	if d.off != len(payload) {
+		return 0, fmt.Errorf("fleet: %d trailing bytes after hello", len(payload)-d.off)
+	}
+	return node, nil
+}
+
+// EncodeHeartbeat frames a liveness beacon from node id (0 = the
+// coordinator).
+func EncodeHeartbeat(node uint32) []byte {
+	var e enc
+	e.u32(node)
+	return frame(MsgHeartbeat, e.b)
+}
+
+// DecodeHeartbeat unframes and decodes a MsgHeartbeat frame.
+func DecodeHeartbeat(data []byte) (uint32, error) {
+	msgType, payload, err := unframe(data)
+	if err != nil {
+		return 0, err
+	}
+	if msgType != MsgHeartbeat {
+		return 0, fmt.Errorf("fleet: message type %d, want heartbeat (%d)", msgType, MsgHeartbeat)
+	}
+	d := dec{b: payload}
+	node := d.u32()
+	if d.err != nil {
+		return 0, d.err
+	}
+	return node, nil
+}
+
+// VerifyFrame validates a frame's envelope — magic, version, length and
+// CRC — and returns its message type without decoding the payload. The
+// TCP transport runs it on every received frame before dispatch: a
+// corrupt frame resets the connection rather than reaching a handler.
+func VerifyFrame(data []byte) (uint8, error) {
+	msgType, _, err := unframe(data)
+	return msgType, err
+}
+
 // WriteFrame writes one already-encoded frame to a byte stream. Frames
 // are self-delimiting, so consecutive WriteFrame calls need no other
 // separator — this is the socket-backend contract.
@@ -314,11 +383,23 @@ func WriteFrame(w io.Writer, frame []byte) error {
 	return err
 }
 
+// readChunk bounds how much ReadFrame allocates ahead of the bytes that
+// have actually arrived: a peer claiming a near-maxFramePayload frame
+// must deliver each chunk before the next one is allocated, so a
+// hostile length prefix alone cannot make the reader commit megabytes.
+const readChunk = 64 << 10
+
 // ReadFrame reads exactly one frame from a byte stream: envelope first
 // (fixed size up to the length field), then the payload and CRC. The
 // returned bytes pass straight to DecodeSnapshot/DecodeDeploy. io.EOF
 // at a frame boundary is returned as-is; a partial frame is an
 // ErrUnexpectedEOF.
+//
+// The envelope is validated before any payload allocation: bad magic, a
+// foreign version, and a payload length over maxFramePayload are all
+// rejected from the 15 header bytes alone, and the payload buffer then
+// grows readChunk at a time as bytes arrive — a corrupted or hostile
+// length prefix cannot OOM the reader.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	head := make([]byte, len(wireMagic)+2+1+4)
 	if _, err := io.ReadFull(r, head); err != nil {
@@ -327,17 +408,25 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if string(head[:len(wireMagic)]) != wireMagic {
 		return nil, fmt.Errorf("fleet: bad magic %q on stream", head[:len(wireMagic)])
 	}
+	if v := binary.LittleEndian.Uint16(head[len(wireMagic):]); v != wireVersion {
+		return nil, fmt.Errorf("fleet: stream speaks frame version %d, this build speaks %d", v, wireVersion)
+	}
 	plen := int(binary.LittleEndian.Uint32(head[len(head)-4:]))
 	if plen > maxFramePayload {
 		return nil, fmt.Errorf("fleet: frame payload %d exceeds the %d limit", plen, maxFramePayload)
 	}
-	buf := make([]byte, len(head)+plen+4)
-	copy(buf, head)
-	if _, err := io.ReadFull(r, buf[len(head):]); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+	buf := append(make([]byte, 0, len(head)+min(plen+4, readChunk)), head...)
+	for remaining := plen + 4; remaining > 0; {
+		n := min(remaining, readChunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
 		}
-		return nil, err
+		remaining -= n
 	}
 	return buf, nil
 }
